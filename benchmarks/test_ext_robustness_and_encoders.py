@@ -1,0 +1,77 @@
+"""Extension benchmarks: perturbation robustness and encoder swaps.
+
+1. ``test_extension_robustness`` — accuracy of trained classifiers as a
+   growing fraction of test-graph edges is dropped.  The paper argues
+   HAP's global content makes representations less brittle than Top-K
+   node selection; this bench quantifies the decay curves.
+2. ``test_extension_encoder_swap`` — the paper claims any mainstream
+   GNN fits the HAP framework (Sec. 4.3): HAP trained with GCN, GAT,
+   GIN and GraphSAGE node & cluster embedding stages.
+"""
+
+import numpy as np
+
+from conftest import persist_rows, run_once
+from repro.data.perturb import drop_edges
+from repro.evaluation.harness import format_table, run_classification
+from repro.training import classification_accuracy
+
+DROP_FRACTIONS = [0.0, 0.1, 0.25]
+
+
+def test_extension_robustness(benchmark, profile):
+    def experiment():
+        rows: dict[str, dict[str, float]] = {}
+        for method in ("HAP", "gPool", "SumPool"):
+            result = run_classification(
+                method,
+                "PROTEINS",
+                seed=0,
+                num_graphs=profile["num_graphs"],
+                epochs=profile["epochs"],
+                hidden=profile["hidden"],
+            )
+            rows[method] = {}
+            for fraction in DROP_FRACTIONS:
+                rng = np.random.default_rng(7)
+                perturbed = [
+                    drop_edges(g, fraction, rng) for g in result.test_graphs
+                ]
+                rows[method][f"drop={fraction}"] = classification_accuracy(
+                    result.model, perturbed
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    columns = [f"drop={f}" for f in DROP_FRACTIONS]
+    print()
+    print(format_table(rows, columns, "Extension: edge-drop robustness (PROTEINS)"))
+    benchmark.extra_info["rows"] = rows
+    persist_rows("ext_robustness", rows)
+    for values in rows.values():
+        assert all(0.0 <= v <= 1.0 for v in values.values())
+
+
+def test_extension_encoder_swap(benchmark, profile):
+    def experiment():
+        rows: dict[str, dict[str, float]] = {}
+        for conv in ("gcn", "gat", "gin", "sage"):
+            rows[f"HAP-{conv.upper()}"] = {
+                "MUTAG": run_classification(
+                    "HAP",
+                    "MUTAG",
+                    seed=0,
+                    num_graphs=profile["num_graphs"],
+                    epochs=profile["epochs_hard"],
+                    hidden=profile["hidden"],
+                    conv=conv,
+                ).accuracy
+            }
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(rows, ["MUTAG"], "Extension: HAP with different GNN encoders"))
+    benchmark.extra_info["rows"] = rows
+    persist_rows("ext_encoder_swap", rows)
+    assert len(rows) == 4

@@ -1,0 +1,52 @@
+"""Figure 6: t-SNE of HAP representations vs coarsening depth.
+
+HAP classifiers with K = 1, 2, 3 coarsening modules trained on PROTEINS
+and COLLAB; separability of the graph-level embedding is reported as
+the silhouette of the t-SNE projection.  Paper shape: separability
+improves from K = 1 to K = 2 and regresses slightly at K = 3.
+"""
+
+import numpy as np
+
+from conftest import persist_rows, run_once
+from repro.evaluation.harness import format_table, run_classification, run_tsne_study
+
+DATASETS = ["PROTEINS", "COLLAB"]
+DEPTHS = {1: (6,), 2: (6, 2), 3: (6, 3, 1)}
+
+
+def test_fig6_tsne_vs_coarsening_depth(benchmark, profile):
+    def experiment():
+        silhouettes: dict[str, dict[str, float]] = {}
+        for depth, cluster_sizes in DEPTHS.items():
+            name = f"Coarsen={depth}"
+            silhouettes[name] = {}
+            for dataset in DATASETS:
+                result = run_classification(
+                    "HAP",
+                    dataset,
+                    seed=0,
+                    num_graphs=profile["num_graphs"],
+                    epochs=profile["epochs"],
+                    hidden=profile["hidden"],
+                    cluster_sizes=cluster_sizes,
+                )
+                rng = np.random.default_rng(1)
+                _, _, silhouette = run_tsne_study(
+                    result.model, result.test_graphs, rng
+                )
+                silhouettes[name][dataset] = silhouette
+        return silhouettes
+
+    silhouettes = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            silhouettes,
+            DATASETS,
+            "Fig. 6: t-SNE separability vs number of coarsening modules",
+        )
+    )
+    benchmark.extra_info["silhouettes"] = silhouettes
+    persist_rows("fig6_tsne_depth", silhouettes)
+    assert set(silhouettes) == {"Coarsen=1", "Coarsen=2", "Coarsen=3"}

@@ -1,0 +1,35 @@
+"""Table 2: statistics of datasets.
+
+Regenerates the dataset-statistics table for every synthetic substitute
+(graph counts, max/avg node counts, class counts) so EXPERIMENTS.md can
+compare them against the paper's originals.
+"""
+
+import numpy as np
+
+from conftest import persist_rows, run_once
+from repro.data import dataset_statistics
+from repro.data.datasets import DATASET_BUILDERS
+
+
+def test_table2_dataset_statistics(benchmark, profile):
+    def experiment():
+        rows = []
+        for name, (builder, _, _) in DATASET_BUILDERS.items():
+            rng = np.random.default_rng(0)
+            graphs = builder(profile["num_graphs"], rng)
+            rows.append(dataset_statistics(name, graphs))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print("\nTable 2: statistics of datasets (synthetic substitutes)")
+    print(f"{'Dataset':<10} {'#Graphs':>8} {'Max.V':>7} {'Avg.V':>7} {'#Classes':>9}")
+    for row in rows:
+        classes = row["num_classes"] if row["num_classes"] is not None else "-"
+        print(
+            f"{row['dataset']:<10} {row['num_graphs']:>8} {row['max_nodes']:>7} "
+            f"{row['avg_nodes']:>7.1f} {classes:>9}"
+        )
+    benchmark.extra_info["rows"] = rows
+    persist_rows("table2_dataset_stats", rows)
+    assert len(rows) == len(DATASET_BUILDERS)

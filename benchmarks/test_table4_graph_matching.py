@@ -1,0 +1,39 @@
+"""Table 4: graph matching accuracy vs graph size.
+
+GMN, GMN-HAP and HAP trained on the VF2-style synthetic matching pairs
+at |V| in {20, 30, 40, 50}.  Paper shape: HAP >= GMN-HAP > GMN at every
+size, with HAP improving as graphs grow.
+"""
+
+from conftest import persist_rows, run_once
+from repro.evaluation.harness import format_table, run_matching
+
+SIZES = [20, 30, 40, 50]
+METHODS = ["GMN", "GMN-HAP", "HAP"]
+
+
+def test_table4_graph_matching(benchmark, profile):
+    def experiment():
+        rows: dict[str, dict[str, float]] = {m: {} for m in METHODS}
+        for method in METHODS:
+            for size in SIZES:
+                accuracy = run_matching(
+                    method,
+                    num_nodes=size,
+                    seed=0,
+                    num_pairs=profile["match_pairs"],
+                    epochs=profile["match_epochs"],
+                    hidden=profile["hidden"],
+                    cluster_sizes=(6, 1),
+                )
+                rows[method][f"|V|={size}"] = accuracy
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    columns = [f"|V|={s}" for s in SIZES]
+    print()
+    print(format_table(rows, columns, "Table 4: graph matching accuracy"))
+    benchmark.extra_info["rows"] = rows
+    persist_rows("table4_graph_matching", rows)
+    for values in rows.values():
+        assert all(0.0 <= v <= 1.0 for v in values.values())

@@ -1,0 +1,44 @@
+"""Cross-size generalisation on graph matching (paper Sec. 6.5.3).
+
+Train a matcher on small graphs (|V| around 15-25) and test it on much
+larger graphs (|V| = 60) without retraining.  GCont's trainable
+transformation depends only on the feature dimension and the target
+cluster count — never on the input size — which is exactly what lets
+HAP transfer; the same script shows a flat attention pool degrading.
+
+    python examples/cross_size_generalization.py
+"""
+
+import numpy as np
+
+from repro.data.matching import make_matching_dataset
+from repro.evaluation.harness import _pair_with_features, DEGREE_FEATURE_DIM
+from repro.models import zoo
+from repro.training import TrainConfig, fit, matching_accuracy
+
+
+def main() -> None:
+    train_pairs = []
+    rng = np.random.default_rng(21)
+    for size in (15, 20, 25):
+        train_pairs.extend(make_matching_dataset(30, size, rng))
+    train_pairs = [_pair_with_features(p) for p in train_pairs]
+    test_small = [_pair_with_features(p) for p in make_matching_dataset(20, 20, rng)]
+    test_large = [_pair_with_features(p) for p in make_matching_dataset(20, 60, rng)]
+
+    print(f"train: {len(train_pairs)} pairs (|V| in 15-25)")
+    print(f"{'method':<16} {'small |V|=20':>13} {'LARGE |V|=60':>13}")
+
+    for method in ("HAP", "HAP-MeanAttPool"):
+        model_rng = np.random.default_rng(3)
+        model = zoo.make_matcher(
+            method, DEGREE_FEATURE_DIM, model_rng, hidden=16, cluster_sizes=(6, 1)
+        )
+        fit(model, train_pairs, model_rng, TrainConfig(epochs=10, lr=0.01))
+        small = matching_accuracy(model, test_small)
+        large = matching_accuracy(model, test_large)
+        print(f"{method:<16} {small:>13.2%} {large:>13.2%}")
+
+
+if __name__ == "__main__":
+    main()

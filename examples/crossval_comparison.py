@@ -1,0 +1,31 @@
+"""Cross-validated method comparison with error bars.
+
+The TU-dataset literature reports k-fold cross-validated accuracies;
+single held-out splits (as in the quick benchmarks) are fast but noisy.
+This example runs stratified 5-fold CV for four pooling methods on the
+MUTAG-like dataset and prints mean +/- std per method.
+
+    python examples/crossval_comparison.py
+"""
+
+from repro.evaluation import cross_validate_classification
+
+METHODS = ["MeanPool", "SumPool", "SAGPool", "HAP"]
+
+
+def main() -> None:
+    print(f"{'method':<10} {'accuracy (5-fold CV)':>24}")
+    for method in METHODS:
+        result = cross_validate_classification(
+            method,
+            "MUTAG",
+            folds=5,
+            num_graphs=120,
+            epochs=45,
+            hidden=16,
+        )
+        print(f"{method:<10} {result.mean:>14.2%} +/- {result.std:.2%}")
+
+
+if __name__ == "__main__":
+    main()

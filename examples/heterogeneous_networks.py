@@ -1,0 +1,65 @@
+"""HAP on heterogeneous networks (the paper's stated future work).
+
+Two-relation social graphs ("friend" cliques and "collab" hub-stars)
+whose label is the *overlap* between relations: colleagues-are-friends
+(class 0) vs separated circles (class 1).  Each relation's marginal
+statistics are matched across classes, so a relation-blind model that
+merges the adjacencies has to work much harder than the heterogeneous
+HAP, which coarsens every relation through one shared MOA assignment.
+
+    python examples/heterogeneous_networks.py
+"""
+
+import numpy as np
+
+from repro.data import train_val_test_split
+from repro.data.splits import train_val_test_split as split
+from repro.graph import Graph
+from repro.hetero import (
+    HeteroGraphClassifier,
+    HeteroHAPEmbedder,
+    make_hetero_social_like,
+)
+from repro.models import GraphClassifier, zoo
+from repro.training import TrainConfig, fit
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graphs = make_hetero_social_like(120, rng)
+    train, val, test = train_val_test_split(graphs, rng)
+    print(f"heterogeneous graphs: {len(train)} train / {len(test)} test, "
+          f"relations {graphs[0].relations}")
+
+    # --- Heterogeneous HAP: shared MOA assignment, per-relation A'_r.
+    hetero_rng = np.random.default_rng(1)
+    embedder = HeteroHAPEmbedder(
+        graphs[0].relations, in_features=2, hidden=12,
+        cluster_sizes=[4, 1], rng=hetero_rng,
+    )
+    hetero_model = HeteroGraphClassifier(embedder, 2, hetero_rng)
+    fit(hetero_model, train, hetero_rng, TrainConfig(epochs=20, lr=0.01))
+    hetero_acc = sum(hetero_model.predict(g) == g.label for g in test) / len(test)
+
+    # --- Relation-blind baseline: merge relations into one adjacency and
+    #     run the ordinary homogeneous HAP classifier.
+    def to_homogeneous(hg):
+        return Graph(
+            hg.merged_adjacency(), features=hg.features, label=hg.label
+        )
+
+    homo_train = [to_homogeneous(g) for g in train]
+    homo_test = [to_homogeneous(g) for g in test]
+    homo_rng = np.random.default_rng(1)
+    homo_model = zoo.make_classifier("HAP", 2, 2, homo_rng, hidden=12,
+                                     cluster_sizes=(4, 1))
+    fit(homo_model, homo_train, homo_rng, TrainConfig(epochs=20, lr=0.01))
+    homo_acc = sum(homo_model.predict(g) == g.label for g in homo_test) / len(homo_test)
+
+    print(f"{'model':<28} {'test accuracy':>13}")
+    print(f"{'heterogeneous HAP (RGCN)':<28} {hetero_acc:>13.2%}")
+    print(f"{'relation-blind HAP (merged)':<28} {homo_acc:>13.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Molecule property prediction: HAP vs flat and Top-K pooling.
+
+The bioinformatics scenario from the paper's introduction: molecules of
+both classes share a common nitro substructure, and only the *relative
+arrangement* of the motifs (a higher-order property) decides the label.
+This script trains four pooling architectures on the same split and
+reports their test accuracy, illustrating the high-order-dependency
+argument of Sec. 6.2.
+
+    python examples/molecule_classification.py
+"""
+
+import numpy as np
+
+from repro.data import train_val_test_split
+from repro.evaluation.harness import prepare_dataset
+from repro.models import zoo
+from repro.training import TrainConfig, classification_accuracy, fit
+
+METHODS = ["MeanPool", "SumPool", "SAGPool", "HAP"]
+
+
+def main() -> None:
+    data_rng = np.random.default_rng(7)
+    graphs, feature_dim, num_classes = prepare_dataset("MUTAG", 150, data_rng)
+    train, val, test = train_val_test_split(graphs, data_rng)
+    print(f"molecules: {len(train)} train / {len(val)} val / {len(test)} test")
+    print(f"{'method':<10} {'val acc':>8} {'test acc':>9}")
+
+    for method in METHODS:
+        rng = np.random.default_rng(7)
+        model = zoo.make_classifier(
+            method, feature_dim, num_classes, rng, hidden=24, cluster_sizes=(6, 1)
+        )
+        history = fit(
+            model,
+            train,
+            rng,
+            TrainConfig(epochs=50, lr=0.01),
+            val_metric=lambda: classification_accuracy(model, val),
+        )
+        test_acc = classification_accuracy(model, test)
+        print(f"{method:<10} {history.best_metric:>8.2%} {test_acc:>9.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Runs the three downstream tasks and dataset statistics from the shell:
+
+    python -m repro stats
+    python -m repro classify --method HAP --dataset MUTAG --epochs 50
+    python -m repro match --method GMN-HAP --nodes 30
+    python -m repro similarity --method HAP --dataset AIDS
+    python -m repro classify --method HAP --dataset MUTAG --save model.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data.datasets import DATASET_BUILDERS
+from repro.evaluation.harness import (
+    dataset_statistics_all,
+    run_classification,
+    run_matching,
+    run_similarity,
+)
+from repro.models import zoo
+from repro.nn import save_module
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--method", default="HAP", help="model name (see repro.models.zoo)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--hidden", type=int, default=16)
+    parser.add_argument("--lr", type=float, default=0.01)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HAP reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print Table 2 dataset statistics")
+    stats.add_argument("--num-graphs", type=int, default=100)
+    stats.add_argument("--seed", type=int, default=0)
+
+    classify = sub.add_parser("classify", help="graph classification (Table 3)")
+    _add_common(classify)
+    classify.add_argument(
+        "--dataset", default="MUTAG", choices=[n for n, v in DATASET_BUILDERS.items() if v[2]]
+    )
+    classify.add_argument("--num-graphs", type=int, default=120)
+    classify.add_argument("--save", default=None, help="save trained weights (.npz)")
+
+    match = sub.add_parser("match", help="graph matching (Table 4)")
+    _add_common(match)
+    match.add_argument("--nodes", type=int, default=20)
+    match.add_argument("--pairs", type=int, default=100)
+
+    similarity = sub.add_parser("similarity", help="graph similarity (Fig. 5)")
+    _add_common(similarity)
+    similarity.add_argument("--dataset", default="AIDS", choices=["AIDS", "LINUX"])
+    similarity.add_argument("--pool-size", type=int, default=14)
+    similarity.add_argument("--triplets", type=int, default=80)
+
+    crossval = sub.add_parser(
+        "crossval", help="k-fold cross-validated classification"
+    )
+    _add_common(crossval)
+    crossval.add_argument(
+        "--dataset", default="MUTAG", choices=[n for n, v in DATASET_BUILDERS.items() if v[2]]
+    )
+    crossval.add_argument("--folds", type=int, default=5)
+    crossval.add_argument("--num-graphs", type=int, default=120)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "stats":
+        for row in dataset_statistics_all(args.num_graphs, args.seed):
+            classes = row["num_classes"] if row["num_classes"] is not None else "-"
+            print(
+                f"{row['dataset']:<10} graphs={row['num_graphs']:<5} "
+                f"max|V|={row['max_nodes']:<4} avg|V|={row['avg_nodes']:<6.1f} "
+                f"classes={classes}"
+            )
+        return 0
+
+    if args.command == "classify":
+        result = run_classification(
+            args.method,
+            args.dataset,
+            seed=args.seed,
+            num_graphs=args.num_graphs,
+            epochs=args.epochs,
+            hidden=args.hidden,
+            lr=args.lr,
+        )
+        print(f"{args.method} on {args.dataset}: test accuracy {result.accuracy:.2%}")
+        if args.save:
+            save_module(
+                result.model,
+                args.save,
+                metadata={"method": args.method, "dataset": args.dataset},
+            )
+            print(f"saved weights to {args.save}")
+        return 0
+
+    if args.command == "match":
+        accuracy = run_matching(
+            args.method,
+            num_nodes=args.nodes,
+            seed=args.seed,
+            num_pairs=args.pairs,
+            epochs=args.epochs,
+            hidden=args.hidden,
+            lr=args.lr,
+        )
+        print(
+            f"{args.method} matching at |V|={args.nodes}: "
+            f"test accuracy {accuracy:.2%}"
+        )
+        return 0
+
+    if args.command == "similarity":
+        accuracy = run_similarity(
+            args.method,
+            args.dataset,
+            seed=args.seed,
+            pool_size=args.pool_size,
+            num_triplets=args.triplets,
+            epochs=args.epochs,
+            hidden=args.hidden,
+            lr=args.lr,
+        )
+        print(
+            f"{args.method} similarity on {args.dataset}: "
+            f"triplet accuracy {accuracy:.2%}"
+        )
+        return 0
+
+    if args.command == "crossval":
+        from repro.evaluation import cross_validate_classification
+
+        result = cross_validate_classification(
+            args.method,
+            args.dataset,
+            folds=args.folds,
+            seed=args.seed,
+            num_graphs=args.num_graphs,
+            epochs=args.epochs,
+            hidden=args.hidden,
+            lr=args.lr,
+        )
+        print(result)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""The HAP graph coarsening module (paper Algorithm 1).
+
+One module performs:
+
+1. attention preparation — GCont builds C = H T (Eq. 13);
+2. attention assignment — MOA produces M ∈ R^{N x N'} (Eq. 14-15);
+3. cluster formation — H' = M^T H, A' = M^T A M (Eq. 17-18);
+4. soft sampling — Gumbel-Softmax sharpening of A' at temperature
+   τ = 0.1 (Eq. 19) to cut edge density of the otherwise fully
+   connected coarsened graph.
+
+The Gumbel noise is only injected in training mode; evaluation uses the
+deterministic tempered softmax so inference is reproducible.  The
+sampled adjacency is symmetrised (the paper's Eq. 19 row-normalises,
+which would break the undirectedness every other component assumes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gcont import GCont
+from repro.core.moa import MOA
+from repro.nn.module import Module
+from repro.tensor import Tensor, as_tensor, log, softmax
+
+#: softmax temperature of Eq. 19 ("we set τ = 0.1").
+DEFAULT_TAU = 0.1
+
+
+def gumbel_soft_sample(
+    adjacency: Tensor,
+    tau: float = DEFAULT_TAU,
+    rng: np.random.Generator | None = None,
+    eps: float = 1e-9,
+) -> Tensor:
+    """Gumbel-Softmax soft edge sampling (Eq. 19).
+
+    Applies a row-wise tempered softmax to ``log A + g`` where ``g`` is
+    Gumbel(0, 1) noise (omitted when ``rng`` is None, yielding the
+    deterministic annealed softmax).  The result is symmetrised.
+    """
+    adjacency = as_tensor(adjacency)
+    n = adjacency.shape[0]
+    if n == 1:
+        # A single cluster has no edges to sample.
+        return adjacency
+    logits = log(adjacency + eps)
+    if rng is not None:
+        uniform = rng.random((n, n))
+        gumbel = -np.log(-np.log(uniform + eps) + eps)
+        logits = logits + Tensor(gumbel)
+    sampled = softmax(logits * (1.0 / tau), axis=1)
+    return (sampled + sampled.T) * 0.5
+
+
+class GraphCoarsening(Module):
+    """One HAP coarsening module: GCont + MOA + formation + sampling."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_clusters: int,
+        rng: np.random.Generator,
+        tau: float = DEFAULT_TAU,
+        soft_sampling: bool = True,
+        relaxation: str = "project",
+        num_heads: int = 1,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.num_clusters = num_clusters
+        self.tau = tau
+        self.soft_sampling = soft_sampling
+        self.rng = rng
+        self.gcont = GCont(in_features, num_clusters, rng)
+        self.moa = MOA(
+            num_clusters, rng, relaxation=relaxation, num_heads=num_heads
+        )
+
+    def attention(self, h: Tensor) -> Tensor:
+        """The normalised MOA assignment M for node features ``h``."""
+        return self.moa(self.gcont(h))
+
+    def coarsen(
+        self, adjacency, h: Tensor
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Coarsen ``(A, H)`` to ``(A', H')``; also returns M.
+
+        Follows Algorithm 1 line by line; the returned adjacency has
+        been soft-sampled (Eq. 19) unless ``soft_sampling=False``.
+        """
+        adjacency = as_tensor(adjacency)
+        h = as_tensor(h)
+        assignment = self.attention(h)  # (N, N')
+        h_coarse = assignment.T @ h  # Eq. 17
+        adj_coarse = assignment.T @ adjacency @ assignment  # Eq. 18
+        if self.soft_sampling:
+            noise_rng = self.rng if self.training else None
+            adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
+        return adj_coarse, h_coarse, assignment
+
+    def forward(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        adj_coarse, h_coarse, _ = self.coarsen(adjacency, h)
+        return adj_coarse, h_coarse

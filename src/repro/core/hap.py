@@ -1,0 +1,132 @@
+"""The hierarchical HAP framework (paper Fig. 2).
+
+``HierarchicalEmbedder`` alternates node & cluster embedding (a GNN
+encoder) with a coarsening operator, K times, and emits one graph-level
+representation per level — the basis of the hierarchical similarity
+measure (Sec. 4.5).  The coarsening operator is pluggable: HAP's
+:class:`~repro.core.coarsen.GraphCoarsening` by default, or any baseline
+:class:`~repro.pooling.base.Coarsening` for the Table 5 ablations
+(HAP-MeanPool, HAP-MeanAttPool, HAP-SAGPool, HAP-DiffPool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coarsen import GraphCoarsening
+from repro.gnn.encoder import GNNEncoder
+from repro.nn.module import Module
+from repro.pooling.base import Coarsening
+from repro.tensor import Tensor, as_tensor
+
+
+class HAPPooling(Coarsening):
+    """Adapter exposing :class:`GraphCoarsening` as a Coarsening op."""
+
+    def __init__(self, coarsening: GraphCoarsening):
+        super().__init__()
+        self.coarsening = coarsening
+
+    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        adj_coarse, h_coarse, _ = self.coarsening.coarsen(adjacency, h)
+        return adj_coarse, h_coarse
+
+
+class HierarchicalEmbedder(Module):
+    """K levels of (GNN encode -> coarsen), with per-level readouts.
+
+    Parameters
+    ----------
+    encoders:
+        One GNN encoder per level (the paper uses two GCN/GAT layers
+        before every coarsening module).
+    coarsenings:
+        One coarsening operator per level; output feature dimension of
+        encoder k must match the input expectation of coarsening k.
+    """
+
+    def __init__(self, encoders: list[GNNEncoder], coarsenings: list[Module]):
+        super().__init__()
+        if len(encoders) != len(coarsenings):
+            raise ValueError("need one encoder per coarsening level")
+        if not encoders:
+            raise ValueError("need at least one level")
+        self.num_levels = len(encoders)
+        self.encoders = encoders
+        self.coarsenings = coarsenings
+        for i, (enc, coarse) in enumerate(zip(encoders, coarsenings)):
+            setattr(self, f"encoder{i}", enc)
+            setattr(self, f"coarsening{i}", coarse)
+        self.out_features = encoders[-1].out_features
+
+    def embed_levels(self, adjacency, h: Tensor) -> list[Tensor]:
+        """Graph-level representation after every coarsening level.
+
+        Each level representation is the mean over that level's cluster
+        nodes (a single row when the level coarsens to one cluster).
+        """
+        adjacency = as_tensor(adjacency)
+        h = as_tensor(h)
+        levels: list[Tensor] = []
+        for encoder, coarsening in zip(self.encoders, self.coarsenings):
+            h = encoder(adjacency, h)
+            adjacency, h = coarsening(adjacency, h)
+            levels.append(h.mean(axis=0))
+        return levels
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        """Final graph-level embedding h_G."""
+        return self.embed_levels(adjacency, h)[-1]
+
+    def auxiliary_loss(self) -> Tensor | None:
+        """Sum of the coarsening operators' auxiliary losses, if any."""
+        total: Tensor | None = None
+        for coarsening in self.coarsenings:
+            aux = getattr(coarsening, "auxiliary_loss", lambda: None)()
+            if aux is not None:
+                total = aux if total is None else total + aux
+        return total
+
+
+def build_hap_embedder(
+    in_features: int,
+    hidden: int,
+    cluster_sizes: list[int],
+    rng: np.random.Generator,
+    conv: str = "gcn",
+    layers_per_level: int = 2,
+    tau: float = 0.1,
+    soft_sampling: bool = True,
+    relaxation: str = "project",
+    num_heads: int = 1,
+) -> HierarchicalEmbedder:
+    """Construct the paper's default HAP architecture.
+
+    ``cluster_sizes`` gives the target size N' of each coarsening module
+    (the paper uses two modules; sizes are per-dataset).  The first
+    encoder maps ``in_features -> hidden``; later levels stay at
+    ``hidden``.
+    """
+    if not cluster_sizes:
+        raise ValueError("need at least one coarsening module")
+    encoders: list[GNNEncoder] = []
+    coarsenings: list[Module] = []
+    feat = in_features
+    for n_prime in cluster_sizes:
+        sizes = [feat] + [hidden] * layers_per_level
+        encoders.append(GNNEncoder(sizes, rng, conv=conv))
+        coarsenings.append(
+            HAPPooling(
+                GraphCoarsening(
+                    hidden,
+                    n_prime,
+                    rng,
+                    tau=tau,
+                    soft_sampling=soft_sampling,
+                    relaxation=relaxation,
+                    num_heads=num_heads,
+                )
+            )
+        )
+        feat = hidden
+    return HierarchicalEmbedder(encoders, coarsenings)

@@ -1,0 +1,124 @@
+"""MOA: master-orthogonal attention (paper Eq. 14-15).
+
+Given the content matrix C ∈ R^{N x N'} (rows = source nodes, columns =
+target clusters), MOA scores every node-cluster pair
+
+    M_ij = LeakyReLU(a^T [ C_{(i,·)}  ||  ψ(C_{(·,j)}) ])
+
+with a shared trainable vector a ∈ R^{2N'} and row-softmax normalises
+the result (Eq. 15).  ψ is the paper's *relaxation* of the cluster
+column from R^N down to R^{N'} (Sec. 4.4.2 / Claim 3).  Two
+realisations are provided:
+
+``relaxation='project'`` (default)
+    ψ(c_j) = C^T c_j / N — a permutation-invariant projection of the
+    column onto cluster space.  The paper's zero-padding argument is
+    order-dependent for N > N'; this projection keeps Claim 2
+    (permutation invariance) intact while preserving the column's
+    content, and is what all experiments use.
+
+``relaxation='pad'``
+    The literal zero-pad / truncate of the paper's proof.  Exact for
+    N <= N' (Claim 3) and exposed for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, as_tensor, concat, leaky_relu, pad2d, softmax
+
+
+class MOA(Module):
+    """Cross-level attention from source nodes to target clusters.
+
+    ``num_heads > 1`` enables the multi-head extension: each head owns
+    an independent attention vector ``a`` and the normalised assignments
+    are averaged — a convex combination of row-stochastic matrices, so
+    Eq. 15's normalisation is preserved.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        rng: np.random.Generator,
+        relaxation: str = "project",
+        negative_slope: float = 0.2,
+        num_heads: int = 1,
+    ):
+        super().__init__()
+        if relaxation not in ("project", "pad"):
+            raise ValueError(f"unknown relaxation {relaxation!r}")
+        if num_heads < 1:
+            raise ValueError("need at least one attention head")
+        self.num_clusters = num_clusters
+        self.relaxation = relaxation
+        self.negative_slope = negative_slope
+        self.num_heads = num_heads
+        # a^T [x || y] decomposes into a_row^T x + a_col^T y, one pair
+        # of vectors per head.
+        self.att_row = Parameter(
+            glorot_uniform(
+                rng, num_clusters, 1, shape=(num_heads, num_clusters)
+            ),
+            name="att_row",
+        )
+        self.att_col = Parameter(
+            glorot_uniform(
+                rng, num_clusters, 1, shape=(num_heads, num_clusters)
+            ),
+            name="att_col",
+        )
+
+    # ------------------------------------------------------------------
+    def _relaxed_columns(self, content: Tensor) -> Tensor:
+        """ψ applied to every column: returns an (N', N') matrix whose
+        j-th row is ψ(C_{(·,j)})."""
+        n, n_prime = content.shape
+        if self.relaxation == "project":
+            return (content.T @ content) * (1.0 / n)
+        # 'pad': zero-pad columns when N < N', truncate when N > N'.
+        if n < n_prime:
+            padded = pad2d(content, rows_after=n_prime - n)
+            return padded.T
+        return content[:n_prime, :].T
+
+    def logits(self, content: Tensor, head: int = 0) -> Tensor:
+        """Unnormalised attention matrix M (Eq. 14) for one head."""
+        content = as_tensor(content)
+        n, n_prime = content.shape
+        if n_prime != self.num_clusters:
+            raise ValueError(
+                f"content has {n_prime} clusters, MOA expects {self.num_clusters}"
+            )
+        row_score = content @ self.att_row[head]  # (N,)
+        relaxed = self._relaxed_columns(content)  # (N', N')
+        col_score = relaxed @ self.att_col[head]  # (N',)
+        return leaky_relu(
+            row_score.reshape(n, 1) + col_score.reshape(1, n_prime),
+            self.negative_slope,
+        )
+
+    def forward(self, content: Tensor) -> Tensor:
+        """Row-softmax-normalised attention assignment (Eq. 15).
+
+        With multiple heads, the per-head assignments are averaged.
+        """
+        assignment = softmax(self.logits(content, head=0), axis=1)
+        for head in range(1, self.num_heads):
+            assignment = assignment + softmax(self.logits(content, head), axis=1)
+        if self.num_heads > 1:
+            assignment = assignment * (1.0 / self.num_heads)
+        return assignment
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat_score(a: Tensor, row: Tensor, col: Tensor) -> Tensor:
+        """Reference scalar score ``LeakyReLU(a^T [row || col])``.
+
+        Used by the Claim-3 validity tests to compare padded and relaxed
+        parameterisations.
+        """
+        return leaky_relu(a @ concat([row, col], axis=0))

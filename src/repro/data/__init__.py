@@ -1,0 +1,57 @@
+"""Datasets and input construction.
+
+Synthetic, seeded substitutes for the paper's benchmark datasets (see
+DESIGN.md §1 for the substitution rationale), the VF2-based graph
+matching pair generator (Sec. 6.1.1), the GED triplet generator
+(Sec. 4.2, Eq. 8-10), feature encodings and split utilities.
+"""
+
+from repro.data.encoding import attach_degree_features, attach_label_features, attach_constant_features
+from repro.data.datasets import (
+    DATASET_BUILDERS,
+    dataset_statistics,
+    make_aids_like,
+    make_collab_like,
+    make_imdb_b_like,
+    make_imdb_m_like,
+    make_linux_like,
+    make_mutag_like,
+    make_proteins_like,
+    make_ptc_like,
+)
+from repro.data.attributed import ATTRIBUTE_DIM, make_attributed_like
+from repro.data.io import load_graphs, save_graphs
+from repro.data.matching import MatchingPair, make_matching_dataset
+from repro.data.perturb import add_edges, drop_edges, drop_nodes, noise_features
+from repro.data.triplets import GraphTriplet, TripletGenerator
+from repro.data.splits import stratified_k_fold, train_val_test_split
+
+__all__ = [
+    "attach_degree_features",
+    "attach_label_features",
+    "attach_constant_features",
+    "DATASET_BUILDERS",
+    "dataset_statistics",
+    "make_aids_like",
+    "make_collab_like",
+    "make_imdb_b_like",
+    "make_imdb_m_like",
+    "make_linux_like",
+    "make_mutag_like",
+    "make_proteins_like",
+    "make_ptc_like",
+    "ATTRIBUTE_DIM",
+    "load_graphs",
+    "save_graphs",
+    "make_attributed_like",
+    "add_edges",
+    "drop_edges",
+    "drop_nodes",
+    "noise_features",
+    "MatchingPair",
+    "make_matching_dataset",
+    "GraphTriplet",
+    "TripletGenerator",
+    "stratified_k_fold",
+    "train_val_test_split",
+]

@@ -1,0 +1,76 @@
+"""Dataset persistence: save/load graph collections as ``.npz``.
+
+Generated datasets are cheap to rebuild (everything is seeded), but
+persisting them makes experiment artefacts shareable and lets external
+tools consume the exact graphs a result was computed on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+_HEADER_KEY = "__repro_dataset__"
+FORMAT_VERSION = 1
+
+
+def save_graphs(graphs: list[Graph], path: str | Path, name: str = "") -> None:
+    """Write a list of graphs (with labels/features when present)."""
+    if not graphs:
+        raise ValueError("nothing to save")
+    arrays: dict[str, np.ndarray] = {}
+    records = []
+    for i, graph in enumerate(graphs):
+        arrays[f"adj_{i}"] = graph.adjacency
+        record = {"label": graph.label}
+        if graph.node_labels is not None:
+            arrays[f"labels_{i}"] = graph.node_labels
+            record["has_node_labels"] = True
+        if graph.features is not None:
+            arrays[f"features_{i}"] = graph.features
+            record["has_features"] = True
+        records.append(record)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": name,
+        "count": len(graphs),
+        "records": records,
+    }
+    arrays[_HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_graphs(path: str | Path) -> tuple[list[Graph], str]:
+    """Load graphs saved by :func:`save_graphs`; returns (graphs, name)."""
+    path = Path(path)
+    with np.load(path if path.suffix else path.with_suffix(".npz")) as archive:
+        if _HEADER_KEY not in archive:
+            raise ValueError(f"{path} is not a repro dataset archive")
+        header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
+        if header["format_version"] > FORMAT_VERSION:
+            raise ValueError("archive was written by a newer library version")
+        graphs = []
+        for i, record in enumerate(header["records"]):
+            graphs.append(
+                Graph(
+                    archive[f"adj_{i}"],
+                    node_labels=(
+                        archive[f"labels_{i}"]
+                        if record.get("has_node_labels")
+                        else None
+                    ),
+                    features=(
+                        archive[f"features_{i}"]
+                        if record.get("has_features")
+                        else None
+                    ),
+                    label=record["label"],
+                )
+            )
+    return graphs, header.get("name", "")

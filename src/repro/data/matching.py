@@ -1,0 +1,72 @@
+"""Synthetic graph matching dataset (paper Sec. 6.1.1).
+
+Labelled pairs ``(G1, G2)`` with edge probability p ∈ [0.2, 0.5]:
+
+- a *positive* sample is a maximum connected subgraph of G, randomly
+  extracted with 1 to 3 nodes fewer than G (so it is subgraph-isomorphic
+  to G by construction — the relation the paper's VF2 library verifies);
+- a *negative* sample adds 3 to 7 nodes to G at the same edge
+  probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.algorithms import random_connected_subgraph
+from repro.graph.generators import random_connected
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class MatchingPair:
+    """A labelled graph pair: ``label=1`` iff the pair matches."""
+
+    g1: Graph
+    g2: Graph
+    label: int
+
+
+def _positive_pair(base: Graph, rng: np.random.Generator) -> MatchingPair:
+    removed = int(rng.integers(1, 4))
+    size = max(2, base.num_nodes - removed)
+    sub, _ = random_connected_subgraph(base, size, rng)
+    return MatchingPair(base, sub, 1)
+
+
+def _negative_pair(base: Graph, p: float, rng: np.random.Generator) -> MatchingPair:
+    added = int(rng.integers(3, 8))
+    n = base.num_nodes
+    extra_edges: list[tuple[int, int]] = []
+    for new in range(n, n + added):
+        # Anchor each new node so the negative stays connected...
+        anchor = int(rng.integers(0, new))
+        extra_edges.append((anchor, new))
+        # ...then add further edges at the same edge probability.
+        for v in range(new):
+            if v != anchor and rng.random() < p:
+                extra_edges.append((v, new))
+    bigger = base.add_nodes(added, extra_edges)
+    return MatchingPair(base, bigger, 0)
+
+
+def make_matching_dataset(
+    num_pairs: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+    p_range: tuple[float, float] = (0.2, 0.5),
+) -> list[MatchingPair]:
+    """Balanced labelled matching pairs over ``num_nodes``-node graphs."""
+    if num_pairs < 1:
+        raise ValueError("need at least one pair")
+    pairs = []
+    for i in range(num_pairs):
+        p = float(rng.uniform(*p_range))
+        base = random_connected(num_nodes, p, rng)
+        if i % 2 == 0:
+            pairs.append(_positive_pair(base, rng))
+        else:
+            pairs.append(_negative_pair(base, p, rng))
+    return pairs

@@ -1,0 +1,68 @@
+"""Dataset split utilities.
+
+The paper partitions every dataset 8:1:1 into train/validation/test
+(Sec. 6.1.3); :func:`train_val_test_split` reproduces that with a
+seeded shuffle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def stratified_k_fold(
+    labels: Sequence[int],
+    k: int,
+    rng: np.random.Generator,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold indices: each fold preserves class proportions.
+
+    Returns ``k`` pairs of (train_indices, test_indices) covering every
+    item exactly once as test data.
+    """
+    if k < 2:
+        raise ValueError("need at least two folds")
+    labels = np.asarray(labels)
+    if len(labels) < k:
+        raise ValueError(f"cannot make {k} folds from {len(labels)} items")
+    fold_of = np.zeros(len(labels), dtype=np.intp)
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        members = members[rng.permutation(len(members))]
+        for position, item in enumerate(members):
+            fold_of[item] = position % k
+    folds = []
+    for fold in range(k):
+        test_idx = np.flatnonzero(fold_of == fold)
+        train_idx = np.flatnonzero(fold_of != fold)
+        folds.append((train_idx, test_idx))
+    return folds
+
+
+def train_val_test_split(
+    items: Sequence[T],
+    rng: np.random.Generator,
+    ratios: tuple[float, float, float] = (0.8, 0.1, 0.1),
+) -> tuple[list[T], list[T], list[T]]:
+    """Shuffle and split ``items`` by ``ratios`` (default 8:1:1).
+
+    Every item lands in exactly one split; the validation and test
+    splits each contain at least one item when ``len(items) >= 3``.
+    """
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    indices = rng.permutation(len(items))
+    n = len(items)
+    n_train = int(round(ratios[0] * n))
+    n_val = int(round(ratios[1] * n))
+    if n >= 3:
+        n_train = min(n_train, n - 2)
+        n_val = max(1, min(n_val, n - n_train - 1))
+    train = [items[i] for i in indices[:n_train]]
+    val = [items[i] for i in indices[n_train : n_train + n_val]]
+    test = [items[i] for i in indices[n_train + n_val :]]
+    return train, val, test

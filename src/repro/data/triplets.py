@@ -1,0 +1,78 @@
+"""Triplet generator for graph similarity learning (paper Sec. 4.2).
+
+Given a dataset of single graphs, the pairwise ground-truth proximity
+is computed with a graph-graph metric f (exact GED by default, Eq. 8);
+triplets fix an anchor and draw two distinct other graphs (Eq. 9); the
+ground-truth triplet proximity is the relative GED
+``r_ijk = g_ij - g_ik`` (Eq. 10) — positive means the anchor is closer
+to the *third* graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.edit_distance import exact_ged
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphTriplet:
+    """Anchor, two comparison graphs, and their relative proximity."""
+
+    anchor: Graph
+    left: Graph
+    right: Graph
+    relative_ged: float  # g(anchor, left) - g(anchor, right)
+
+    @property
+    def closer_to_right(self) -> bool:
+        """True when the anchor is more similar to ``right``."""
+        return self.relative_ged > 0
+
+
+class TripletGenerator:
+    """Generates GED-labelled triplets from a pool of graphs.
+
+    Pairwise distances are cached so each pair's (potentially costly)
+    exact GED is computed at most once.
+    """
+
+    def __init__(
+        self,
+        graphs: list[Graph],
+        metric: Callable[[Graph, Graph], float] = exact_ged,
+    ):
+        if len(graphs) < 3:
+            raise ValueError("need at least three graphs to form triplets")
+        self.graphs = list(graphs)
+        self.metric = metric
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def proximity(self, i: int, j: int) -> float:
+        """Cached ground-truth proximity g_ij (Eq. 8)."""
+        key = (min(i, j), max(i, j))
+        if key not in self._cache:
+            self._cache[key] = float(self.metric(self.graphs[key[0]], self.graphs[key[1]]))
+        return self._cache[key]
+
+    def sample(self, count: int, rng: np.random.Generator) -> list[GraphTriplet]:
+        """Draw ``count`` triplets ⟨G_i, G_j, G_k⟩ with j != k (Eq. 9-10)."""
+        n = len(self.graphs)
+        triplets = []
+        for _ in range(count):
+            i = int(rng.integers(0, n))
+            j = int(rng.integers(0, n))
+            while j == i:
+                j = int(rng.integers(0, n))
+            k = int(rng.integers(0, n))
+            while k == i or k == j:
+                k = int(rng.integers(0, n))
+            relative = self.proximity(i, j) - self.proximity(i, k)
+            triplets.append(
+                GraphTriplet(self.graphs[i], self.graphs[j], self.graphs[k], relative)
+            )
+        return triplets

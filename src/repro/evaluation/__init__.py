@@ -1,0 +1,33 @@
+"""Evaluation utilities: t-SNE, cluster separability, experiment harness."""
+
+from repro.evaluation.tsne import tsne
+from repro.evaluation.separability import silhouette_score
+from repro.evaluation.crossval import CVResult, cross_validate_classification
+from repro.evaluation.learning_curves import LearningCurve, learning_curve
+from repro.evaluation.reports import load_rows, save_rows, to_markdown
+from repro.evaluation.harness import (
+    ClassificationResult,
+    format_table,
+    run_classification,
+    run_matching,
+    run_similarity,
+    run_tsne_study,
+)
+
+__all__ = [
+    "tsne",
+    "silhouette_score",
+    "CVResult",
+    "LearningCurve",
+    "learning_curve",
+    "cross_validate_classification",
+    "load_rows",
+    "save_rows",
+    "to_markdown",
+    "ClassificationResult",
+    "format_table",
+    "run_classification",
+    "run_matching",
+    "run_similarity",
+    "run_tsne_study",
+]

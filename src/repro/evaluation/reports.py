@@ -1,0 +1,56 @@
+"""Result persistence and report rendering.
+
+Benchmarks attach their row dictionaries to ``benchmark.extra_info``;
+these helpers additionally let any script persist results as JSON and
+render them as Markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def save_rows(rows: dict, path: str | Path, title: str = "") -> None:
+    """Persist an experiment's ``{row -> {column -> value}}`` as JSON."""
+    payload = {"title": title, "rows": rows}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_rows(path: str | Path) -> tuple[str, dict]:
+    """Load rows saved by :func:`save_rows`; returns (title, rows)."""
+    payload = json.loads(Path(path).read_text())
+    return payload.get("title", ""), payload["rows"]
+
+
+def to_markdown(
+    rows: dict[str, dict[str, float]],
+    columns: list[str],
+    percent: bool = True,
+    bold_best: bool = True,
+) -> str:
+    """Render rows as a GitHub-Markdown table.
+
+    ``bold_best`` marks the best value per column (higher is better).
+    """
+    best: dict[str, float] = {}
+    if bold_best:
+        for column in columns:
+            values = [v[column] for v in rows.values() if column in v]
+            if values:
+                best[column] = max(values)
+
+    def cell(value: float | None, column: str) -> str:
+        if value is None:
+            return "-"
+        text = f"{value * 100:.2f}%" if percent else f"{value:.4f}"
+        if bold_best and column in best and value == best[column]:
+            return f"**{text}**"
+        return text
+
+    lines = ["| Method | " + " | ".join(columns) + " |"]
+    lines.append("|---" * (len(columns) + 1) + "|")
+    for name, values in rows.items():
+        cells = [cell(values.get(c), c) for c in columns]
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Cluster separability metrics.
+
+The t-SNE figures' qualitative claim — "classes are clearly separated"
+— is quantified with the silhouette coefficient over the embedded
+points and their graph labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient in [-1, 1] (higher = better separated).
+
+    For each point: ``(b - a) / max(a, b)`` with ``a`` the mean
+    intra-cluster distance and ``b`` the smallest mean distance to
+    another cluster.  Singleton clusters contribute 0, matching the
+    scikit-learn convention.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("need at least two clusters")
+    n = len(points)
+    if n != len(labels):
+        raise ValueError("points and labels must align")
+    diff = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((diff**2).sum(axis=2))
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same_count = same.sum() - 1
+        if same_count == 0:
+            scores[i] = 0.0
+            continue
+        a = distances[i][same].sum() / same_count
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            mask = labels == other
+            b = min(b, distances[i][mask].mean())
+        scores[i] = (b - a) / max(a, b)
+    return float(scores.mean())

@@ -1,0 +1,92 @@
+"""Bipartite graph edit distance approximation (Riesen & Bunke 2009).
+
+A ``(n1 + n2) x (n1 + n2)`` cost matrix over node substitutions,
+deletions and insertions (each entry augmented with an estimate of the
+incident-edge edit cost) is solved as a linear assignment problem; the
+resulting node mapping induces a complete edit path whose true cost is
+an upper bound on GED.  Solving the LAP with the Hungarian algorithm
+gives the paper's "Hungarian" baseline; solving it with the
+Jonker-Volgenant algorithm gives the "VJ" baseline (Fankhauser, Riesen
+& Bunke 2011).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ged.assignment import hungarian, jonker_volgenant
+from repro.graph.edit_distance import (
+    EPS,
+    completion_cost,
+    extension_cost,
+    node_substitution_cost,
+)
+from repro.graph.graph import Graph
+
+_FORBIDDEN = 1e9  # large finite cost for impossible assignments
+
+
+def mapping_edit_cost(g1: Graph, g2: Graph, mapping: list[int]) -> float:
+    """True edit cost induced by a complete node mapping of ``g1``.
+
+    ``mapping[i]`` is the g2 node matched to g1 node i, or ``EPS`` for a
+    deletion; g2 nodes missing from the image are insertions.
+    """
+    if len(mapping) != g1.num_nodes:
+        raise ValueError("mapping must cover every g1 node")
+    cost = 0.0
+    prefix: tuple[int, ...] = ()
+    for v1, v2 in enumerate(mapping):
+        cost += extension_cost(g1, g2, prefix, v1, v2)
+        prefix = prefix + (v2,)
+    return cost + completion_cost(g1, g2, prefix)
+
+
+def _cost_matrix(g1: Graph, g2: Graph) -> np.ndarray:
+    """Riesen-Bunke LAP cost matrix with degree-based edge estimates."""
+    n1, n2 = g1.num_nodes, g2.num_nodes
+    deg1 = (g1.adjacency != 0).sum(axis=1)
+    deg2 = (g2.adjacency != 0).sum(axis=1)
+    matrix = np.full((n1 + n2, n1 + n2), _FORBIDDEN)
+    # Substitutions: node cost + optimal local edge assignment (unlabelled
+    # edges -> |deg difference| edge insertions/deletions).
+    for i in range(n1):
+        for j in range(n2):
+            matrix[i, j] = node_substitution_cost(
+                g1.node_labels, g2.node_labels, i, j
+            ) + abs(int(deg1[i]) - int(deg2[j]))
+    # Deletions of g1 nodes (diagonal of the top-right block).
+    for i in range(n1):
+        matrix[i, n2 + i] = 1.0 + float(deg1[i])
+    # Insertions of g2 nodes (diagonal of the bottom-left block).
+    for j in range(n2):
+        matrix[n1 + j, j] = 1.0 + float(deg2[j])
+    # Dummy-to-dummy assignments are free.
+    matrix[n1:, n2:] = 0.0
+    return matrix
+
+
+def bipartite_ged(g1: Graph, g2: Graph, solver: str = "hungarian") -> float:
+    """Upper-bound GED from the bipartite approximation.
+
+    ``solver`` selects the LAP algorithm: ``'hungarian'`` or ``'vj'``.
+    """
+    if solver == "hungarian":
+        assignment, _ = hungarian(_cost_matrix(g1, g2))
+    elif solver == "vj":
+        assignment, _ = jonker_volgenant(_cost_matrix(g1, g2))
+    else:
+        raise ValueError(f"unknown LAP solver {solver!r}")
+    n1, n2 = g1.num_nodes, g2.num_nodes
+    mapping = [int(assignment[i]) if assignment[i] < n2 else EPS for i in range(n1)]
+    return mapping_edit_cost(g1, g2, mapping)
+
+
+def hungarian_ged(g1: Graph, g2: Graph) -> float:
+    """The paper's "Hungarian" GED baseline."""
+    return bipartite_ged(g1, g2, solver="hungarian")
+
+
+def vj_ged(g1: Graph, g2: Graph) -> float:
+    """The paper's "VJ" GED baseline."""
+    return bipartite_ged(g1, g2, solver="vj")

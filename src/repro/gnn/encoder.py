@@ -1,0 +1,72 @@
+"""Stacked GNN encoder used as the node & cluster embedding module.
+
+The paper uses two GAT or GCN layers before every coarsening module
+(Sec. 6.1.3); ``GNNEncoder`` builds that stack for either convolution
+type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.extra_layers import GINLayer, SAGELayer
+from repro.gnn.layers import GATLayer, GCNLayer
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class GNNEncoder(Module):
+    """A stack of GCN or GAT layers.
+
+    Parameters
+    ----------
+    sizes:
+        Feature dimensions ``[in, hidden, ..., out]``; one layer is
+        created per consecutive pair.
+    conv:
+        ``'gcn'``, ``'gat'``, ``'gin'`` or ``'sage'``.
+    """
+
+    def __init__(
+        self,
+        sizes: list[int],
+        rng: np.random.Generator,
+        conv: str = "gcn",
+        activation: str = "leaky_relu",
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("encoder needs at least [in, out] sizes")
+        layer_classes = {
+            "gcn": GCNLayer,
+            "gat": GATLayer,
+            "gin": GINLayer,
+            "sage": SAGELayer,
+        }
+        if conv not in layer_classes:
+            raise ValueError(f"unknown conv type {conv!r}")
+        layer_cls = layer_classes[conv]
+        self.conv = conv
+        self.layers = [
+            layer_cls(sizes[i], sizes[i + 1], rng, activation=activation)
+            for i in range(len(sizes) - 1)
+        ]
+        for i, layer in enumerate(self.layers):
+            setattr(self, f"conv{i}", layer)
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        for layer in self.layers:
+            h = layer(adjacency, h)
+        return h
+
+    def layer_outputs(self, adjacency, h: Tensor) -> list[Tensor]:
+        """Node representations after every layer (GCN-concat readout)."""
+        outputs = []
+        for layer in self.layers:
+            h = layer(adjacency, h)
+            outputs.append(h)
+        return outputs

@@ -1,0 +1,83 @@
+"""Additional message-passing layers: GIN and GraphSAGE.
+
+The paper states that "any mainstream GNNs can also be integrated into
+the HAP framework" (Sec. 4.3); these two layers back that claim and the
+encoder-swap ablation benchmark.
+
+- ``GINLayer`` (Xu et al., 2019): ``H' = MLP((1 + eps) H + A H)`` — the
+  maximally expressive aggregator in the WL hierarchy.
+- ``SAGELayer`` (Hamilton et al., 2017): mean-aggregated neighbourhood
+  concatenated with the self representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.layers import _activate
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, as_tensor, concat, power
+
+
+class GINLayer(Module):
+    """Graph Isomorphism Network layer with a 2-layer MLP."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "leaky_relu",
+        train_eps: bool = True,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.w1 = Parameter(glorot_uniform(rng, in_features, out_features))
+        self.b1 = Parameter(zeros(out_features))
+        self.w2 = Parameter(glorot_uniform(rng, out_features, out_features))
+        self.b2 = Parameter(zeros(out_features))
+        if train_eps:
+            self.eps = Parameter(np.zeros(1))
+        else:
+            self.eps = None
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        h = as_tensor(h)
+        adj = as_tensor(adjacency)
+        aggregated = adj @ h
+        if self.eps is not None:
+            combined = h * (1.0 + self.eps[0]) + aggregated
+        else:
+            combined = h + aggregated
+        hidden = _activate(combined @ self.w1 + self.b1, self.activation)
+        return _activate(hidden @ self.w2 + self.b2, self.activation)
+
+
+class SAGELayer(Module):
+    """GraphSAGE layer with mean aggregation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "leaky_relu",
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Parameter(glorot_uniform(rng, 2 * in_features, out_features))
+        self.bias = Parameter(zeros(out_features))
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        h = as_tensor(h)
+        adj = as_tensor(adjacency)
+        n = h.shape[0]
+        degree = adj.sum(axis=1) + 1e-8
+        neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(n, 1)
+        combined = concat([h, neighbour_mean], axis=1)
+        return _activate(combined @ self.weight + self.bias, self.activation)

@@ -1,0 +1,134 @@
+"""GCN and GAT layers (paper Eq. 11-12).
+
+Both layers run on a dense ``(N, N)`` adjacency, which may be a numpy
+array (constant) or a Tensor (differentiable, e.g. the soft-sampled
+coarsened adjacency A' of Eq. 18-19 whose gradient must flow back into
+the MOA attention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, as_tensor, leaky_relu, power, relu, softmax, where
+
+
+def _adjacency_tensor(adjacency) -> Tensor:
+    """Coerce adjacency to a Tensor without copying when already one."""
+    return adjacency if isinstance(adjacency, Tensor) else Tensor(adjacency)
+
+
+def normalize_adjacency(adjacency, eps: float = 1e-8) -> Tensor:
+    """Symmetric normalisation ``D̃^{-1/2} Ã D̃^{-1/2}`` with self-loops.
+
+    Differentiable when ``adjacency`` is a Tensor.
+    """
+    adj = _adjacency_tensor(adjacency)
+    n = adj.shape[0]
+    adj_tilde = adj + Tensor(np.eye(n))
+    degree = adj_tilde.sum(axis=1)
+    inv_sqrt = power(degree + eps, -0.5)
+    return adj_tilde * inv_sqrt.reshape(n, 1) * inv_sqrt.reshape(1, n)
+
+
+def _activate(out, activation: str):
+    """Apply a named activation (shared by GCN and GAT layers).
+
+    ``leaky_relu`` is the default in :class:`~repro.gnn.encoder.GNNEncoder`
+    because plain ReLU encoders can die wholesale at small scale, which
+    collapses MOA attention to exactly-uniform with zero gradient.
+    """
+    if activation == "relu":
+        return relu(out)
+    if activation == "leaky_relu":
+        return leaky_relu(out, 0.01)
+    if activation == "tanh":
+        from repro.tensor import tanh
+
+        return tanh(out)
+    if activation == "none":
+        return out
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+class GCNLayer(Module):
+    """Graph convolution: ``H' = act(D̃^{-1/2} Ã D̃^{-1/2} H W)`` (Eq. 12)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform(rng, in_features, out_features), name="weight"
+        )
+        self.bias = Parameter(zeros(out_features), name="bias")
+        self.activation = activation
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        h = as_tensor(h)
+        normalized = normalize_adjacency(adjacency)
+        out = normalized @ (h @ self.weight) + self.bias
+        return _activate(out, self.activation)
+
+
+class GATLayer(Module):
+    """Graph attention layer (Velickovic et al., paper Eq. 11).
+
+    Attention logits ``e_ij = LeakyReLU(a^T [W h_i || W h_j])`` are
+    masked to the one-hop neighbourhood (plus self-loops) and
+    softmax-normalised per row.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        negative_slope: float = 0.2,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform(rng, in_features, out_features), name="weight"
+        )
+        # a^T [x || y] decomposes into a_src^T x + a_dst^T y.
+        self.att_src = Parameter(
+            glorot_uniform(rng, out_features, 1, shape=(out_features,)), name="att_src"
+        )
+        self.att_dst = Parameter(
+            glorot_uniform(rng, out_features, 1, shape=(out_features,)), name="att_dst"
+        )
+        self.bias = Parameter(zeros(out_features), name="bias")
+        self.activation = activation
+        self.negative_slope = negative_slope
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        h = as_tensor(h)
+        n = h.shape[0]
+        transformed = h @ self.weight  # (N, F')
+        score_src = transformed @ self.att_src  # (N,)
+        score_dst = transformed @ self.att_dst  # (N,)
+        logits = leaky_relu(
+            score_src.reshape(n, 1) + score_dst.reshape(1, n), self.negative_slope
+        )
+        adj_data = adjacency.data if isinstance(adjacency, Tensor) else adjacency
+        mask = (np.asarray(adj_data) != 0) | np.eye(n, dtype=bool)
+        masked = where(mask, logits, Tensor(np.full((n, n), -1e9)))
+        attention = softmax(masked, axis=1)
+        # Weight attention by the (possibly soft) adjacency so gradients
+        # reach a differentiable coarsened adjacency as well.
+        if isinstance(adjacency, Tensor) and adjacency.requires_grad:
+            weighted = attention * (adjacency + Tensor(np.eye(n)))
+            attention = weighted * power(weighted.sum(axis=1) + 1e-8, -1.0).reshape(n, 1)
+        out = attention @ transformed + self.bias
+        return _activate(out, self.activation)

@@ -1,0 +1,204 @@
+"""The :class:`Graph` value type.
+
+A graph is stored as a dense, symmetric, zero-diagonal adjacency matrix
+(the paper works with weighted adjacency matrices A ∈ R^{N×N}) plus
+optional integer node labels, an optional node feature matrix
+H ∈ R^{N×F} and an optional integer graph label Y.  Instances are
+treated as immutable values: all transformation helpers return new
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, eq=False)
+class Graph:
+    """An undirected (optionally weighted) graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric ``(N, N)`` float array with zero diagonal.
+    node_labels:
+        Optional ``(N,)`` integer labels (e.g. atom types).
+    features:
+        Optional ``(N, F)`` node feature matrix.
+    label:
+        Optional integer graph-level label Y.
+    """
+
+    adjacency: np.ndarray
+    node_labels: np.ndarray | None = None
+    features: np.ndarray | None = None
+    label: int | None = None
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        adj = np.asarray(self.adjacency, dtype=np.float64)
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise ValueError(f"adjacency must be square, got {adj.shape}")
+        if not np.allclose(adj, adj.T):
+            raise ValueError("adjacency must be symmetric (undirected graphs)")
+        if np.any(np.diag(adj) != 0):
+            raise ValueError("adjacency must have zero diagonal (no self-loops)")
+        object.__setattr__(self, "adjacency", adj)
+        if self.node_labels is not None:
+            labels = np.asarray(self.node_labels, dtype=np.int64)
+            if labels.shape != (adj.shape[0],):
+                raise ValueError(
+                    f"node_labels shape {labels.shape} != ({adj.shape[0]},)"
+                )
+            object.__setattr__(self, "node_labels", labels)
+        if self.features is not None:
+            feats = np.asarray(self.features, dtype=np.float64)
+            if feats.ndim != 2 or feats.shape[0] != adj.shape[0]:
+                raise ValueError(
+                    f"features must be (N, F) with N={adj.shape[0]}, got {feats.shape}"
+                )
+            object.__setattr__(self, "features", feats)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (non-zero upper-triangle entries)."""
+        return int(np.count_nonzero(np.triu(self.adjacency, k=1)))
+
+    def degrees(self) -> np.ndarray:
+        """Weighted degree of every node."""
+        return self.adjacency.sum(axis=1)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Indices of nodes adjacent to ``node``."""
+        return np.flatnonzero(self.adjacency[node])
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        """Undirected edges as sorted (i, j) pairs with i < j."""
+        rows, cols = np.nonzero(np.triu(self.adjacency, k=1))
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return bool(self.adjacency[i, j] != 0)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        node_labels: Sequence[int] | None = None,
+        label: int | None = None,
+    ) -> "Graph":
+        """Build an unweighted graph from an edge list."""
+        adj = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+        for i, j in edges:
+            if i == j:
+                continue  # self-loops are silently dropped
+            adj[i, j] = adj[j, i] = 1.0
+        labels = None if node_labels is None else np.asarray(node_labels)
+        return Graph(adj, node_labels=labels, label=label)
+
+    @staticmethod
+    def empty(num_nodes: int) -> "Graph":
+        return Graph(np.zeros((num_nodes, num_nodes)))
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new graphs)
+    # ------------------------------------------------------------------
+    def with_features(self, features: np.ndarray) -> "Graph":
+        return replace(self, features=np.asarray(features, dtype=np.float64))
+
+    def with_label(self, label: int) -> "Graph":
+        return replace(self, label=int(label))
+
+    def with_node_labels(self, node_labels: Sequence[int]) -> "Graph":
+        return replace(self, node_labels=np.asarray(node_labels, dtype=np.int64))
+
+    def permute(self, permutation: Sequence[int]) -> "Graph":
+        """Relabel nodes: node i of the result is node permutation[i] here."""
+        perm = np.asarray(permutation, dtype=np.intp)
+        if sorted(perm.tolist()) != list(range(self.num_nodes)):
+            raise ValueError("permutation must be a bijection over nodes")
+        adj = self.adjacency[np.ix_(perm, perm)]
+        labels = None if self.node_labels is None else self.node_labels[perm]
+        feats = None if self.features is None else self.features[perm]
+        return Graph(adj, node_labels=labels, features=feats, label=self.label)
+
+    def subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``nodes`` (kept in the given order)."""
+        idx = np.asarray(nodes, dtype=np.intp)
+        adj = self.adjacency[np.ix_(idx, idx)]
+        labels = None if self.node_labels is None else self.node_labels[idx]
+        feats = None if self.features is None else self.features[idx]
+        return Graph(adj, node_labels=labels, features=feats, label=self.label)
+
+    def add_nodes(
+        self,
+        count: int,
+        edges: Iterable[tuple[int, int]] = (),
+        node_labels: Sequence[int] | None = None,
+    ) -> "Graph":
+        """Return a graph with ``count`` extra nodes and the given new edges."""
+        n = self.num_nodes
+        adj = np.zeros((n + count, n + count), dtype=np.float64)
+        adj[:n, :n] = self.adjacency
+        for i, j in edges:
+            if i == j:
+                continue
+            adj[i, j] = adj[j, i] = 1.0
+        labels = None
+        if self.node_labels is not None:
+            extra = (
+                np.zeros(count, dtype=np.int64)
+                if node_labels is None
+                else np.asarray(node_labels, dtype=np.int64)
+            )
+            labels = np.concatenate([self.node_labels, extra])
+        return Graph(adj, node_labels=labels, label=self.label)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a networkx.Graph (used only by the test-suite)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        if self.node_labels is not None:
+            for i, lab in enumerate(self.node_labels):
+                g.nodes[i]["label"] = int(lab)
+        for i, j in self.edge_list():
+            g.add_edge(i, j, weight=float(self.adjacency[i, j]))
+        return g
+
+    @staticmethod
+    def from_networkx(g) -> "Graph":
+        """Build from a networkx.Graph with integer nodes 0..N-1."""
+        nodes = sorted(g.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        adj = np.zeros((len(nodes), len(nodes)))
+        for u, v, data in g.edges(data=True):
+            w = float(data.get("weight", 1.0))
+            adj[index[u], index[v]] = adj[index[v], index[u]] = w
+        labels = None
+        if nodes and all("label" in g.nodes[v] for v in nodes):
+            labels = np.array([g.nodes[v]["label"] for v in nodes], dtype=np.int64)
+        return Graph(adj, node_labels=labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(n={self.num_nodes}, m={self.num_edges}, "
+            f"label={self.label}, labelled_nodes={self.node_labels is not None})"
+        )

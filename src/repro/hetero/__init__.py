@@ -1,0 +1,37 @@
+"""Heterogeneous-graph extension of HAP.
+
+The paper's conclusion names "more complex networks such as attributed
+networks and heterogeneous networks" as future work; this subpackage
+implements that extension:
+
+- :class:`HeteroGraph` — nodes with features plus one adjacency per
+  edge *relation* (e.g. friendship vs collaboration);
+- :class:`RGCNLayer` / :class:`HeteroEncoder` — relational graph
+  convolution with per-relation weights;
+- :class:`HeteroGraphCoarsening` — the HAP coarsening module lifted to
+  heterogeneous graphs: one shared GCont/MOA assignment coarsens the
+  node set, and every relation's adjacency is coarsened through the
+  same assignment (``A'_r = M^T A_r M``) so relation structure survives
+  pooling;
+- :class:`HeteroHAPEmbedder` — the hierarchical framework over the
+  above;
+- :func:`make_hetero_social_like` — a two-relation synthetic dataset
+  whose label depends on the *interaction* of relations, so ignoring
+  either relation (or their identity) caps accuracy.
+"""
+
+from repro.hetero.graph import HeteroGraph
+from repro.hetero.layers import HeteroEncoder, RGCNLayer
+from repro.hetero.coarsen import HeteroGraphCoarsening
+from repro.hetero.model import HeteroGraphClassifier, HeteroHAPEmbedder
+from repro.hetero.data import make_hetero_social_like
+
+__all__ = [
+    "HeteroGraph",
+    "RGCNLayer",
+    "HeteroEncoder",
+    "HeteroGraphCoarsening",
+    "HeteroHAPEmbedder",
+    "HeteroGraphClassifier",
+    "make_hetero_social_like",
+]

@@ -1,0 +1,34 @@
+"""Task models for the three downstream tasks (paper Sec. 3.2).
+
+- :class:`GraphClassifier` — single-graph classification (Eq. 20-21);
+- :class:`MatchingModel` — pairwise matching with the hierarchical
+  similarity loss (Eq. 22-23);
+- :class:`SimilarityModel` — triplet similarity learning with the
+  hierarchical MSE loss (Eq. 24);
+- :class:`GMN` — Graph Matching Network comparator (Li et al. 2019),
+  with a pluggable pooling stage so ``GMN-HAP`` is one constructor call;
+- :class:`SimGNN` — SimGNN comparator (Bai et al. 2019);
+- :mod:`repro.models.zoo` — named factories for every row of
+  Tables 3-7 (all baselines, HAP, and the HAP-x ablation variants).
+"""
+
+from repro.models.common import euclidean_distance, graph_inputs
+from repro.models.embedders import FlatEmbedder
+from repro.models.classifier import GraphClassifier
+from repro.models.matcher import MatchingModel
+from repro.models.similarity import SimilarityModel
+from repro.models.gmn import GMN
+from repro.models.simgnn import SimGNN
+from repro.models import zoo
+
+__all__ = [
+    "euclidean_distance",
+    "graph_inputs",
+    "FlatEmbedder",
+    "GraphClassifier",
+    "MatchingModel",
+    "SimilarityModel",
+    "GMN",
+    "SimGNN",
+    "zoo",
+]

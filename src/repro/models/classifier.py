@@ -1,0 +1,89 @@
+"""Graph classification head (paper Eq. 20-21).
+
+The final graph representation is fed into two fully-connected layers
+(ReLU then linear; the softmax lives inside the cross-entropy) and
+optimised with standard cross-entropy over graph labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.models.common import graph_inputs
+from repro.nn.layers import Linear
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad, relu, softmax
+
+
+class GraphClassifier(Module):
+    """Embedder + two fully-connected layers + softmax classifier."""
+
+    def __init__(
+        self,
+        embedder: Module,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: int | None = None,
+    ):
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.embedder = embedder
+        self.num_classes = num_classes
+        dim = embedder.out_features
+        hidden = hidden or dim
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, num_classes, rng)
+
+    def logits(self, graph: Graph) -> Tensor:
+        """Class logits for one graph.
+
+        Hierarchical embedders contribute the *sum of their level
+        representations* — the paper's hierarchical prediction strategy
+        (Sec. 4.5.2, "to further facilitate the training process and
+        fully utilize the hierarchical intermediate features") applied
+        to the classification head.  Flat embedders contribute their
+        single readout.
+        """
+        adjacency, features = graph_inputs(graph)
+        levels = self.embedder.embed_levels(adjacency, features)
+        embedding = levels[0]
+        for level in levels[1:]:
+            embedding = embedding + level
+        return self.fc2(relu(self.fc1(embedding)))
+
+    def forward(self, graph: Graph) -> Tensor:
+        return self.logits(graph)
+
+    def loss(self, graph: Graph) -> Tensor:
+        """Cross-entropy (Eq. 21) plus any embedder auxiliary loss."""
+        if graph.label is None:
+            raise ValueError("graph has no label")
+        loss = cross_entropy(self.logits(graph), graph.label)
+        aux = getattr(self.embedder, "auxiliary_loss", lambda: None)()
+        if aux is not None:
+            loss = loss + aux * 0.1
+        return loss
+
+    def predict(self, graph: Graph) -> int:
+        with no_grad():
+            return int(np.argmax(self.logits(graph).data))
+
+    def predict_proba(self, graph: Graph) -> np.ndarray:
+        with no_grad():
+            return softmax(self.logits(graph), axis=-1).data.copy()
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        """Graph-level embedding (used for the t-SNE figures).
+
+        Matches :meth:`logits`: the sum over hierarchy levels.
+        """
+        adjacency, features = graph_inputs(graph)
+        with no_grad():
+            levels = self.embedder.embed_levels(adjacency, features)
+            total = levels[0].data.copy()
+            for level in levels[1:]:
+                total += level.data
+        return total

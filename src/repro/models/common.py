@@ -1,0 +1,22 @@
+"""Shared model helpers."""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.tensor import Tensor, sqrt
+
+
+def euclidean_distance(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    """Differentiable Euclidean distance between two embedding vectors."""
+    diff = a - b
+    return sqrt((diff * diff).sum() + eps)
+
+
+def graph_inputs(graph: Graph) -> tuple:
+    """Extract ``(adjacency, features)`` for a model, validating features."""
+    if graph.features is None:
+        raise ValueError(
+            "graph has no node features; attach an encoding from "
+            "repro.data.encoding first"
+        )
+    return graph.adjacency, Tensor(graph.features)

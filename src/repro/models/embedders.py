@@ -1,0 +1,62 @@
+"""Graph embedders: the pluggable "encode + pool" stage of every model.
+
+All embedders share one protocol:
+
+- ``embed_levels(adjacency, features)`` returns a list of graph-level
+  vectors, one per hierarchy level (flat embedders return a single
+  level), enabling the paper's hierarchical similarity measure;
+- calling the embedder returns the final level;
+- ``out_features`` gives the final embedding dimension.
+
+``HierarchicalEmbedder`` (in :mod:`repro.core.hap`) covers every
+coarsening-based architecture; ``FlatEmbedder`` covers the flat readout
+baselines of Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.gnn.encoder import GNNEncoder
+from repro.nn.module import Module
+from repro.pooling.base import Readout
+from repro.tensor import Tensor, as_tensor
+
+
+class FlatEmbedder(Module):
+    """GNN encoder followed by a flat readout."""
+
+    def __init__(self, encoder: GNNEncoder, readout: Readout):
+        super().__init__()
+        self.encoder = encoder
+        self.readout = readout
+        self.out_features = readout.out_features
+
+    def embed_levels(self, adjacency, features: Tensor) -> list[Tensor]:
+        h = self.encoder(adjacency, as_tensor(features))
+        return [self.readout(adjacency, h)]
+
+    def forward(self, adjacency, features: Tensor) -> Tensor:
+        return self.embed_levels(adjacency, features)[-1]
+
+    def auxiliary_loss(self) -> Tensor | None:
+        return None
+
+
+class RawReadoutEmbedder(Module):
+    """A readout applied directly to raw features (no encoder).
+
+    Used by GCN-concat, whose readout owns its encoder internally.
+    """
+
+    def __init__(self, readout: Readout):
+        super().__init__()
+        self.readout = readout
+        self.out_features = readout.out_features
+
+    def embed_levels(self, adjacency, features: Tensor) -> list[Tensor]:
+        return [self.readout(adjacency, as_tensor(features))]
+
+    def forward(self, adjacency, features: Tensor) -> Tensor:
+        return self.embed_levels(adjacency, features)[-1]
+
+    def auxiliary_loss(self) -> Tensor | None:
+        return None

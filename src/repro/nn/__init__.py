@@ -1,0 +1,46 @@
+"""Neural-network substrate built on :mod:`repro.tensor`.
+
+Provides the module system, common layers, initialisers, optimisers and
+loss functions required by the GNN encoders, pooling operators and task
+models of the HAP reproduction.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Linear, MLP, Dropout, LSTMCell, Bilinear
+from repro.nn.init import glorot_uniform, glorot_normal, zeros, uniform
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.serialization import save_module, load_module
+from repro.nn.losses import (
+    binary_cross_entropy,
+    cross_entropy,
+    mse_loss,
+    nll_loss,
+    pairwise_matching_loss,
+    triplet_mse_loss,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "MLP",
+    "Dropout",
+    "LSTMCell",
+    "Bilinear",
+    "glorot_uniform",
+    "glorot_normal",
+    "zeros",
+    "uniform",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "save_module",
+    "load_module",
+    "binary_cross_entropy",
+    "cross_entropy",
+    "mse_loss",
+    "nll_loss",
+    "pairwise_matching_loss",
+    "triplet_mse_loss",
+]

@@ -1,0 +1,118 @@
+"""Module system: parameter registration and traversal.
+
+Mirrors the familiar PyTorch ``nn.Module`` contract at the scale this
+reproduction needs: attribute assignment auto-registers parameters and
+submodules, ``parameters()`` walks the tree, and ``train()/eval()``
+toggle the training flag (used by dropout and Gumbel soft-sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always a trainable leaf of the autograd graph."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all trainable parameters of this module and its children."""
+        yield from self._parameters.values()
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set the module (recursively) to training or evaluation mode."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot of all parameter values (copied)."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            if own[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{own[name].data.shape} vs {value.shape}"
+                )
+            own[name].data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

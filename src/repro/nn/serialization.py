@@ -1,0 +1,60 @@
+"""Model persistence: save/load parameter state as ``.npz`` archives.
+
+Keeps trained models reusable across processes without pickling code:
+only parameter arrays and a small JSON header travel.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: bumped when the on-disk layout changes
+FORMAT_VERSION = 1
+
+_HEADER_KEY = "__repro_header__"
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Write ``module``'s parameters (and optional metadata) to ``path``.
+
+    The archive holds one array per named parameter plus a JSON header
+    with the format version and user metadata.
+    """
+    path = Path(path)
+    state = module.state_dict()
+    header = {
+        "format_version": FORMAT_VERSION,
+        "num_parameters": int(sum(v.size for v in state.values())),
+        "metadata": metadata or {},
+    }
+    arrays = dict(state)
+    arrays[_HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_module(module: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Returns the stored metadata dict.  Raises on version or shape
+    mismatches (delegated to ``Module.load_state_dict``).
+    """
+    path = Path(path)
+    with np.load(path if path.suffix else path.with_suffix(".npz")) as archive:
+        if _HEADER_KEY not in archive:
+            raise ValueError(f"{path} is not a repro model archive")
+        header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
+        if header["format_version"] > FORMAT_VERSION:
+            raise ValueError(
+                f"archive format {header['format_version']} is newer than "
+                f"this library ({FORMAT_VERSION})"
+            )
+        state = {k: archive[k] for k in archive.files if k != _HEADER_KEY}
+    module.load_state_dict(state)
+    return header["metadata"]

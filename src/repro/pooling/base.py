@@ -1,0 +1,51 @@
+"""Pooling interfaces shared by every operator.
+
+``Readout`` collapses a graph to a single vector (flat pooling);
+``Coarsening`` maps a graph to a smaller graph (hierarchical pooling).
+Any coarsening doubles as a readout by coarsening to its target size
+and mean-aggregating the surviving clusters.
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class Readout(Module):
+    """Maps ``(adjacency, node_features)`` to a 1-D graph embedding."""
+
+    #: output embedding dimension; set by subclasses.
+    out_features: int
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class Coarsening(Module):
+    """Maps ``(adjacency, node_features)`` to a coarser ``(A', H')``.
+
+    Subclasses document how their output size is determined (a fixed
+    cluster count, a keep-ratio, or 1 for global pools).
+    """
+
+    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        raise NotImplementedError
+
+    def forward(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        return self.coarsen(adjacency, h)
+
+    def auxiliary_loss(self) -> Tensor | None:
+        """Regularisation term recorded by the last ``coarsen`` call.
+
+        DiffPool's link-prediction/entropy losses and MinCutPool's
+        cut/orthogonality losses are exposed through this hook; operators
+        without auxiliary objectives return None.
+        """
+        return None
+
+
+def coarsening_readout(coarsening: Coarsening, adjacency, h: Tensor) -> Tensor:
+    """Use a coarsening operator as a readout: coarsen then mean-pool."""
+    _, h_coarse = coarsening.coarsen(adjacency, h)
+    return h_coarse.mean(axis=0)

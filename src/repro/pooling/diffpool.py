@@ -1,0 +1,58 @@
+"""DiffPool (Ying et al., 2018): differentiable hierarchical grouping.
+
+An assignment GNN produces a dense soft-assignment matrix
+``S = softmax(GNN_assign(A, H))`` over a fixed number of clusters; the
+coarsened graph is ``H' = S^T Z`` and ``A' = S^T A S``.  The auxiliary
+link-prediction loss ``||A - S S^T||_F`` and the assignment-entropy
+regulariser from the original paper are exposed through
+:meth:`auxiliary_loss`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.layers import GCNLayer
+from repro.pooling.base import Coarsening
+from repro.tensor import Tensor, as_tensor, log, softmax
+
+
+class DiffPool(Coarsening):
+    """Soft cluster assignment to ``num_clusters`` clusters."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_clusters: int,
+        rng: np.random.Generator,
+        use_embed_gnn: bool = True,
+    ):
+        super().__init__()
+        if num_clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.num_clusters = num_clusters
+        self.assign_gnn = GCNLayer(in_features, num_clusters, rng, activation="none")
+        self.embed_gnn = (
+            GCNLayer(in_features, in_features, rng) if use_embed_gnn else None
+        )
+        self._aux: Tensor | None = None
+
+    def assignment(self, adjacency, h: Tensor) -> Tensor:
+        """Soft assignment matrix S of shape (N, num_clusters)."""
+        return softmax(self.assign_gnn(adjacency, h), axis=1)
+
+    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        adj = as_tensor(adjacency)
+        s = self.assignment(adjacency, h)
+        z = self.embed_gnn(adjacency, h) if self.embed_gnn is not None else h
+        h_coarse = s.T @ z
+        adj_coarse = s.T @ adj @ s
+        # Auxiliary objectives from the original paper.
+        link_residual = adj - s @ s.T
+        link_loss = (link_residual * link_residual).mean()
+        entropy = -(s * log(s + 1e-12)).sum(axis=1).mean()
+        self._aux = link_loss + entropy * 0.1
+        return adj_coarse, h_coarse
+
+    def auxiliary_loss(self) -> Tensor | None:
+        return self._aux

@@ -1,0 +1,43 @@
+"""Set2Set pooling (Vinyals et al., 2015).
+
+An LSTM produces a query vector, nodes are soft-attended against it,
+and the attention readout is fed back into the LSTM for ``steps``
+iterations.  The output is the concatenation of the final query and the
+final readout (dimension ``2 * in_features``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import LSTMCell
+from repro.pooling.base import Readout
+from repro.tensor import Tensor, concat, softmax
+
+
+class Set2Set(Readout):
+    """Order-invariant set pooling with iterative content-based attention."""
+
+    def __init__(self, in_features: int, rng: np.random.Generator, steps: int = 3):
+        super().__init__()
+        if steps < 1:
+            raise ValueError("set2set needs at least one processing step")
+        self.steps = steps
+        self.in_features = in_features
+        self.out_features = 2 * in_features
+        self.lstm = LSTMCell(2 * in_features, in_features, rng)
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        n, f = h.shape
+        q_star = Tensor(np.zeros(2 * f))
+        state = self.lstm.initial_state()
+        readout = Tensor(np.zeros(f))
+        query = state[0]
+        for _ in range(self.steps):
+            query, cell = self.lstm(q_star, state)
+            state = (query, cell)
+            energies = h @ query  # (N,)
+            attention = softmax(energies, axis=0)
+            readout = (attention.reshape(1, n) @ h).reshape(f)
+            q_star = concat([query, readout], axis=0)
+        return q_star

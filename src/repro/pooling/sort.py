@@ -1,0 +1,36 @@
+"""SortPooling (Zhang et al., 2018).
+
+Treats the last feature channel as a continuous WL colour, sorts nodes
+by it in descending order, keeps the top ``k`` (zero-padding smaller
+graphs) and flattens the result into a fixed-size vector.  The sort is
+a constant re-indexing, so gradients flow to the selected nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pooling.base import Readout
+from repro.tensor import Tensor, concat, gather_rows
+
+
+class SortPooling(Readout):
+    """Sort nodes by their last feature channel and keep the top k."""
+
+    def __init__(self, in_features: int, k: int):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.in_features = in_features
+        self.out_features = k * in_features
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        n, f = h.shape
+        order = np.argsort(-h.data[:, -1], kind="stable")[: self.k]
+        selected = gather_rows(h, order)
+        kept = min(self.k, n)
+        flat = selected.reshape(kept * f)
+        if kept < self.k:
+            flat = concat([flat, Tensor(np.zeros((self.k - kept) * f))], axis=0)
+        return flat

@@ -1,0 +1,135 @@
+"""Top-K pooling family: gPool, SAGPool, AttPool (global & local).
+
+Each method scores nodes, keeps the ``ceil(ratio * N)`` best and gates
+the surviving features with their (squashed) scores so the scoring
+parameters receive gradients.  The coarsened adjacency is the induced
+subgraph on the survivors — exactly the behaviour the paper criticises
+(dropped nodes lose their information and survivors may disconnect),
+which our tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gnn.layers import GCNLayer
+from repro.nn.init import glorot_uniform
+from repro.nn.module import Parameter
+from repro.pooling.base import Coarsening
+from repro.tensor import Tensor, gather_rows, sigmoid, softmax, sqrt, tanh
+
+
+def _keep_count(n: int, ratio: float) -> int:
+    return max(1, min(n, math.ceil(ratio * n)))
+
+
+def _induced_adjacency(adjacency, kept: np.ndarray) -> Tensor:
+    adj_data = adjacency.data if isinstance(adjacency, Tensor) else adjacency
+    if isinstance(adjacency, Tensor) and adjacency.requires_grad:
+        rows = gather_rows(adjacency, kept)
+        return gather_rows(rows.T, kept).T
+    return Tensor(np.asarray(adj_data)[np.ix_(kept, kept)])
+
+
+class TopKCoarsening(Coarsening):
+    """Shared select-and-gate machinery for the Top-K family.
+
+    Subclasses implement :meth:`scores` returning one logit per node.
+    ``gate`` chooses the squashing applied to survivors' scores.
+    """
+
+    def __init__(self, ratio: float = 0.5, gate: str = "tanh"):
+        super().__init__()
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if gate not in ("tanh", "sigmoid", "softmax"):
+            raise ValueError(f"unknown gate {gate!r}")
+        self.ratio = ratio
+        self.gate = gate
+
+    def scores(self, adjacency, h: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        n = h.shape[0]
+        raw = self.scores(adjacency, h)  # (N,)
+        k = _keep_count(n, self.ratio)
+        kept = np.sort(np.argsort(-raw.data, kind="stable")[:k])
+        if self.gate == "tanh":
+            gates = tanh(raw)
+        elif self.gate == "sigmoid":
+            gates = sigmoid(raw)
+        else:
+            gates = softmax(raw, axis=0)
+        h_kept = gather_rows(h, kept) * gather_rows(
+            gates.reshape(n, 1), kept
+        )
+        return _induced_adjacency(adjacency, kept), h_kept
+
+
+class GPool(TopKCoarsening):
+    """gPool / Graph U-Nets (Gao & Ji 2019).
+
+    Node score is the scalar projection of its features onto a trainable
+    vector: ``y = H p / ||p||``.
+    """
+
+    def __init__(self, in_features: int, rng: np.random.Generator, ratio: float = 0.5):
+        super().__init__(ratio=ratio, gate="tanh")
+        self.projection = Parameter(
+            glorot_uniform(rng, in_features, 1, shape=(in_features,)),
+            name="projection",
+        )
+
+    def scores(self, adjacency, h: Tensor) -> Tensor:
+        norm = sqrt((self.projection * self.projection).sum() + 1e-12)
+        return (h @ self.projection) / norm
+
+
+class SAGPool(TopKCoarsening):
+    """Self-attention graph pooling (Lee et al. 2019).
+
+    Scores come from a one-channel GCN over the graph, so both features
+    and topology inform the selection.
+    """
+
+    def __init__(self, in_features: int, rng: np.random.Generator, ratio: float = 0.5):
+        super().__init__(ratio=ratio, gate="tanh")
+        self.score_gcn = GCNLayer(in_features, 1, rng, activation="none")
+
+    def scores(self, adjacency, h: Tensor) -> Tensor:
+        return self.score_gcn(adjacency, h).reshape(h.shape[0])
+
+
+class AttPoolGlobal(TopKCoarsening):
+    """AttPool with global soft attention scoring (Huang et al. 2019)."""
+
+    def __init__(self, in_features: int, rng: np.random.Generator, ratio: float = 0.5):
+        super().__init__(ratio=ratio, gate="softmax")
+        self.att = Parameter(
+            glorot_uniform(rng, in_features, 1, shape=(in_features,)), name="att"
+        )
+
+    def scores(self, adjacency, h: Tensor) -> Tensor:
+        return h @ self.att
+
+
+class AttPoolLocal(TopKCoarsening):
+    """AttPool's local variant: attention balanced by node degree.
+
+    Adding ``log(1 + deg)`` to the logits trades pure feature importance
+    against dispersion, as in the original local-attention design.
+    """
+
+    def __init__(self, in_features: int, rng: np.random.Generator, ratio: float = 0.5):
+        super().__init__(ratio=ratio, gate="softmax")
+        self.att = Parameter(
+            glorot_uniform(rng, in_features, 1, shape=(in_features,)), name="att"
+        )
+
+    def scores(self, adjacency, h: Tensor) -> Tensor:
+        adj_data = adjacency.data if isinstance(adjacency, Tensor) else adjacency
+        degree = (np.asarray(adj_data) != 0).sum(axis=1)
+        return h @ self.att + Tensor(np.log1p(degree))

@@ -1,0 +1,132 @@
+"""Flat universal pooling baselines.
+
+- ``SumPool`` / ``MeanPool`` / ``MaxPool``: element-wise aggregators
+  (Xu et al. show sum is the most expressive of the three).
+- ``GCNConcat``: concatenation of per-layer GCN node representations,
+  mean-aggregated over nodes (the paper's "GCN-concat" baseline).
+- ``MeanAttPool``: SimGNN-style attention against the mean graph
+  context.
+- ``GatedAttPool``: GG-NN soft attention (a gate network decides each
+  node's relevance).
+- ``MeanPoolCoarsening`` / ``MeanAttPoolCoarsening``: the same
+  aggregators cast as N -> 1 coarsening operators for the Table 5
+  ablation (HAP-MeanPool, HAP-MeanAttPool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.encoder import GNNEncoder
+from repro.nn.init import glorot_uniform
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.pooling.base import Coarsening, Readout
+from repro.tensor import Tensor, concat, sigmoid, tanh
+
+
+class SumPool(Readout):
+    """Element-wise sum over node features."""
+
+    def __init__(self, in_features: int):
+        super().__init__()
+        self.out_features = in_features
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        return h.sum(axis=0)
+
+
+class MeanPool(Readout):
+    """Element-wise mean over node features."""
+
+    def __init__(self, in_features: int):
+        super().__init__()
+        self.out_features = in_features
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        return h.mean(axis=0)
+
+
+class MaxPool(Readout):
+    """Element-wise max over node features."""
+
+    def __init__(self, in_features: int):
+        super().__init__()
+        self.out_features = in_features
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        return h.max(axis=0)
+
+
+class GCNConcat(Readout):
+    """Concatenate every GCN layer's node output, then mean over nodes."""
+
+    def __init__(self, encoder: GNNEncoder):
+        super().__init__()
+        self.encoder = encoder
+        self.out_features = sum(layer.out_features for layer in encoder.layers)
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        outputs = self.encoder.layer_outputs(adjacency, h)
+        return concat(outputs, axis=1).mean(axis=0)
+
+
+class MeanAttPool(Readout):
+    """SimGNN attention pooling: nodes attend to the mean graph context.
+
+    ``c = mean(H) W``; ``a_i = sigmoid(h_i . c)``; ``h_G = sum_i a_i h_i``.
+    """
+
+    def __init__(self, in_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.out_features = in_features
+        self.weight = Parameter(
+            glorot_uniform(rng, in_features, in_features), name="weight"
+        )
+
+    def attention(self, h: Tensor) -> Tensor:
+        context = h.mean(axis=0) @ self.weight  # (F,)
+        return sigmoid(h @ context)  # (N,)
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        scores = self.attention(h)
+        n = h.shape[0]
+        return (scores.reshape(1, n) @ h).reshape(h.shape[1])
+
+
+class GatedAttPool(Readout):
+    """GG-NN soft attention readout: ``sum_i sigmoid(gate(h_i)) * proj(h_i)``."""
+
+    def __init__(self, in_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.out_features = in_features
+        self.gate = Linear(in_features, 1, rng)
+        self.project = Linear(in_features, in_features, rng)
+
+    def forward(self, adjacency, h: Tensor) -> Tensor:
+        n = h.shape[0]
+        gates = sigmoid(self.gate(h)).reshape(1, n)
+        projected = tanh(self.project(h))
+        return (gates @ projected).reshape(self.out_features)
+
+
+class MeanPoolCoarsening(Coarsening):
+    """N -> 1 coarsening by mean aggregation (HAP-MeanPool ablation)."""
+
+    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        h_coarse = h.mean(axis=0).reshape(1, h.shape[1])
+        adj_coarse = Tensor(np.zeros((1, 1)))
+        return adj_coarse, h_coarse
+
+
+class MeanAttPoolCoarsening(Coarsening):
+    """N -> 1 coarsening by mean-context attention (HAP-MeanAttPool)."""
+
+    def __init__(self, in_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.readout = MeanAttPool(in_features, rng)
+
+    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+        h_coarse = self.readout(adjacency, h).reshape(1, h.shape[1])
+        adj_coarse = Tensor(np.zeros((1, 1)))
+        return adj_coarse, h_coarse

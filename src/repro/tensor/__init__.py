@@ -1,0 +1,95 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the computational substrate for the whole
+reproduction: the paper's experiments were run on PyTorch, which is not
+available offline, so we provide a small but complete autograd engine
+with the same semantics (dynamic tape, broadcasting, accumulation of
+gradients into leaf tensors).
+
+Public API
+----------
+``Tensor``
+    The differentiable array type.  Supports arithmetic operators,
+    matmul (``@``), slicing, comparison helpers and ``backward()``.
+``no_grad``
+    Context manager disabling graph construction (used at eval time).
+Functional ops
+    ``matmul, add, mul, concat, stack, softmax, log_softmax, relu,
+    leaky_relu, sigmoid, tanh, exp, log, sqrt, power, maximum, where,
+    sum, mean, max, reshape, transpose, pad, dropout_mask`` and friends,
+    re-exported from :mod:`repro.tensor.ops`.
+``numeric_gradient``
+    Finite-difference helper used by the test-suite's gradient checks.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor.ops import (
+    absolute,
+    add,
+    clip,
+    min_along,
+    norm,
+    concat,
+    dropout_mask,
+    exp,
+    gather_rows,
+    leaky_relu,
+    log,
+    log_softmax,
+    matmul,
+    max_along,
+    maximum,
+    mean,
+    mul,
+    pad2d,
+    power,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    sum_along,
+    tanh,
+    transpose,
+    where,
+)
+from repro.tensor.gradcheck import numeric_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "absolute",
+    "add",
+    "clip",
+    "min_along",
+    "norm",
+    "concat",
+    "dropout_mask",
+    "exp",
+    "gather_rows",
+    "leaky_relu",
+    "log",
+    "log_softmax",
+    "matmul",
+    "max_along",
+    "maximum",
+    "mean",
+    "mul",
+    "pad2d",
+    "power",
+    "relu",
+    "reshape",
+    "sigmoid",
+    "softmax",
+    "sqrt",
+    "stack",
+    "sum_along",
+    "tanh",
+    "transpose",
+    "where",
+    "numeric_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,60 @@
+"""Finite-difference gradient checking utilities.
+
+These are used throughout the test-suite to pin the correctness of every
+differentiable operation and layer against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numeric_gradient(
+    func: Callable[[], Tensor],
+    tensor: Tensor,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``func()`` w.r.t. ``tensor``.
+
+    ``func`` must return a scalar Tensor and must re-read ``tensor.data``
+    on every call (i.e. rebuild the graph), which all our ops do.
+    """
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func().data)
+        flat[i] = original - eps
+        minus = float(func().data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    func: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients match finite differences for each tensor."""
+    for t in tensors:
+        t.zero_grad()
+    loss = func()
+    loss.backward()
+    for t in tensors:
+        expected = numeric_gradient(func, t)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        np.testing.assert_allclose(
+            actual,
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for tensor {t.name or t.shape}",
+        )

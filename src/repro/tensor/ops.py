@@ -1,0 +1,452 @@
+"""Differentiable operations on :class:`repro.tensor.Tensor`.
+
+Every function takes tensors (or array-likes) and returns a tensor wired
+into the autograd tape.  Backward closures compute vector-Jacobian
+products with full numpy broadcasting support via ``unbroadcast``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return (unbroadcast(grad, a.shape), unbroadcast(grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        return (unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * b.data, a.shape),
+            unbroadcast(grad * a.data, b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad / b.data, a.shape),
+            unbroadcast(-grad * a.data / (b.data**2), b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant scalar exponent."""
+    a = as_tensor(a)
+    out_data = a.data**exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+    root = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad / (2.0 * root),)
+
+    return Tensor._make(root, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor._make(np.log(a.data), (a,), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties send gradient to the first argument."""
+    a, b = as_tensor(a), as_tensor(b)
+    mask = a.data >= b.data
+    out_data = np.where(mask, a.data, b.data)
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * mask, a.shape),
+            unbroadcast(grad * ~mask, b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable ``np.where`` with a constant boolean condition."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * cond, a.shape),
+            unbroadcast(grad * ~cond, b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+
+def relu(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(a.data * mask, (a,), backward)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(grad):
+        return (grad * np.where(mask, 1.0, negative_slope),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+    # Numerically stable logistic.
+    out_data = np.where(
+        a.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(a.data, -500, 500))),
+        np.exp(np.clip(a.data, -500, 500))
+        / (1.0 + np.exp(np.clip(a.data, -500, 500))),
+    )
+
+    def backward(grad):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out_data**2),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the usual max-shift stabilisation."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - dot),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra / shape
+# ---------------------------------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product with full numpy ``@`` semantics (1-D, 2-D, batched)."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        g = np.asarray(grad)
+        A, B = a.data, b.data
+        grad_a = grad_b = None
+        if a.requires_grad:
+            if A.ndim == 1 and B.ndim == 1:
+                grad_a = g * B
+            elif B.ndim == 1:
+                # C[..., i] = sum_j A[..., i, j] B[j]
+                grad_a = g[..., None] * B
+            elif A.ndim == 1:
+                # C[..., j] = sum_i A[i] B[..., i, j]
+                partial = (B * g[..., None, :]).sum(axis=-1)
+                grad_a = partial.sum(axis=tuple(range(partial.ndim - 1)))
+            else:
+                grad_a = g @ np.swapaxes(B, -1, -2)
+            grad_a = unbroadcast(np.asarray(grad_a), a.shape)
+        if b.requires_grad:
+            if A.ndim == 1 and B.ndim == 1:
+                grad_b = g * A
+            elif A.ndim == 1:
+                grad_b = A[:, None] * g[..., None, :]
+            elif B.ndim == 1:
+                partial = A * g[..., None]
+                grad_b = partial.sum(axis=tuple(range(partial.ndim - 1)))
+            else:
+                grad_b = np.swapaxes(A, -1, -2) @ g
+            grad_b = unbroadcast(np.asarray(grad_b), b.shape)
+        return (grad_a, grad_b)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def transpose(a: Tensor, axes=None) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+
+    def backward(grad):
+        if axes is None:
+            return (np.transpose(grad),)
+        inverse = np.argsort(axes)
+        return (np.transpose(grad, inverse),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def reshape(a: Tensor, shape) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.shape),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data, dtype=np.float64)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def gather_rows(a: Tensor, indices) -> Tensor:
+    """Select rows ``a[indices]`` (duplicate indices accumulate grads)."""
+    return getitem(a, np.asarray(indices, dtype=np.intp))
+
+
+def concat(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        pieces = []
+        for i in range(len(tensors)):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            pieces.append(grad[tuple(slicer)])
+        return tuple(pieces)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad2d(a: Tensor, rows_after: int = 0, cols_after: int = 0) -> Tensor:
+    """Zero-pad a 2-D tensor at the bottom/right edges.
+
+    Used by MOA's attention-parameter relaxation (paper Sec. 5.3) where
+    column vectors are zero-padded to a fixed dimension.
+    """
+    a = as_tensor(a)
+    if a.ndim != 2:
+        raise ValueError("pad2d expects a 2-D tensor")
+    out_data = np.pad(a.data, ((0, rows_after), (0, cols_after)))
+    n, m = a.shape
+
+    def backward(grad):
+        return (grad[:n, :m],)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def sum_along(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.shape).copy(),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = int(np.prod([a.shape[ax] for ax in axes]))
+
+    def backward(grad):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.shape).copy() / count,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max_along(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Max reduction; gradient flows to (all) argmax positions equally."""
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        g = np.asarray(grad)
+        out_keep = a.data.max(axis=axis, keepdims=True)
+        mask = (a.data == out_keep).astype(np.float64)
+        mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.shape) * mask,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def absolute(a: Tensor) -> Tensor:
+    """Elementwise absolute value; gradient at 0 is 0."""
+    a = as_tensor(a)
+    sign = np.sign(a.data)
+
+    def backward(grad):
+        return (grad * sign,)
+
+    return Tensor._make(np.abs(a.data), (a,), backward)
+
+
+def clip(a: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values into [low, high]; gradient is 1 inside, 0 outside."""
+    a = as_tensor(a)
+    inside = (a.data >= low) & (a.data <= high)
+
+    def backward(grad):
+        return (grad * inside,)
+
+    return Tensor._make(np.clip(a.data, low, high), (a,), backward)
+
+
+def norm(a: Tensor, eps: float = 1e-12) -> Tensor:
+    """Euclidean (Frobenius) norm of all elements."""
+    a = as_tensor(a)
+    value = float(np.sqrt((a.data**2).sum() + eps))
+
+    def backward(grad):
+        return (grad * a.data / value,)
+
+    return Tensor._make(np.asarray(value), (a,), backward)
+
+
+def min_along(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Min reduction (negated max; ties share gradient equally)."""
+    return neg(max_along(neg(a), axis=axis, keepdims=keepdims))
+
+
+# ---------------------------------------------------------------------------
+# Stochastic helpers
+# ---------------------------------------------------------------------------
+
+
+def dropout_mask(shape, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample an inverted-dropout mask (scaled keep mask) as a constant."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    keep = 1.0 - rate
+    return (rng.random(shape) < keep).astype(np.float64) / keep

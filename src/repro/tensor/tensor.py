@@ -1,0 +1,306 @@
+"""The ``Tensor`` type: a numpy array with a reverse-mode autograd tape.
+
+The design mirrors the classic define-by-run approach: every operation
+on tensors that require gradients records a node holding references to
+its parents and a closure computing the local vector-Jacobian product.
+``Tensor.backward()`` topologically sorts the recorded graph and
+accumulates gradients into the leaves.
+
+Only float64 data participates in differentiation; integer tensors are
+allowed as constants (e.g. index arrays) but never require gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return getattr(_STATE, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables tape recording (evaluation mode)."""
+    previous = is_grad_enabled()
+    _STATE.grad_enabled = False
+    try:
+        yield
+    finally:
+        _STATE.grad_enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (the reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Array-like; coerced to ``np.float64`` unless it already is an
+        integer/bool array (kept as-is, non-differentiable).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __array_priority__ = 100  # make numpy defer to our reflected operators
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        arr = np.asarray(data)
+        if arr.dtype.kind not in "iub":
+            arr = arr.astype(np.float64, copy=False)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._parents: tuple[tuple["Tensor", object], ...] = ()
+        self._backward = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.transpose(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{flag})"
+
+    def item(self) -> float:
+        """Return the single scalar value held by this tensor."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the autograd tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Tape construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents, backward) -> "Tensor":
+        """Create an interior node of the autograd graph.
+
+        ``parents`` is a sequence of tensors feeding this op; ``backward``
+        maps the output gradient to a tuple of parent gradients (None for
+        parents that do not require grad).
+        """
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs)
+        if needs:
+            out._parents = tuple((p, None) for p in parents)
+            out._backward = backward
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to 1 for scalar tensors (the common "loss.backward()" case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf tensor: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for (parent, _), pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+        # Any remaining gradient entries belong to leaves reached without
+        # interior processing (e.g. self is a leaf).
+        if not order and self._backward is None:
+            if self.grad is None:
+                self.grad = grad.copy()
+            else:
+                self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Operator overloads (delegate to repro.tensor.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.tensor import ops
+
+        return ops.add(self, as_tensor(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.tensor import ops
+
+        return ops.sub(self, as_tensor(other))
+
+    def __rsub__(self, other):
+        from repro.tensor import ops
+
+        return ops.sub(as_tensor(other), self)
+
+    def __mul__(self, other):
+        from repro.tensor import ops
+
+        return ops.mul(self, as_tensor(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.tensor import ops
+
+        return ops.div(self, as_tensor(other))
+
+    def __rtruediv__(self, other):
+        from repro.tensor import ops
+
+        return ops.div(as_tensor(other), self)
+
+    def __neg__(self):
+        from repro.tensor import ops
+
+        return ops.neg(self)
+
+    def __matmul__(self, other):
+        from repro.tensor import ops
+
+        return ops.matmul(self, as_tensor(other))
+
+    def __rmatmul__(self, other):
+        from repro.tensor import ops
+
+        return ops.matmul(as_tensor(other), self)
+
+    def __pow__(self, exponent):
+        from repro.tensor import ops
+
+        return ops.power(self, float(exponent))
+
+    def __getitem__(self, index):
+        from repro.tensor import ops
+
+        return ops.getitem(self, index)
+
+    # Convenience reductions -------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.sum_along(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.max_along(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.tensor import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def flatten(self):
+        return self.reshape(self.data.size)
+
+    def transpose(self, axes=None):
+        from repro.tensor import ops
+
+        return ops.transpose(self, axes)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+# Internal export used by ops.py
+unbroadcast = _unbroadcast

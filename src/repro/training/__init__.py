@@ -1,0 +1,16 @@
+"""Training loops and evaluation metrics for the three tasks."""
+
+from repro.training.trainer import TrainConfig, fit
+from repro.training.metrics import (
+    classification_accuracy,
+    matching_accuracy,
+    triplet_accuracy,
+)
+
+__all__ = [
+    "TrainConfig",
+    "fit",
+    "classification_accuracy",
+    "matching_accuracy",
+    "triplet_accuracy",
+]

@@ -1,0 +1,54 @@
+"""Task metrics.
+
+Accuracy definitions follow the paper: label accuracy for
+classification (Table 3), match/no-match accuracy for pairs (Table 4),
+and sign agreement of the relative distance for triplets (Fig. 5) —
+the same criterion applied to the conventional GED baselines ("the
+triplet similarity ... is reflected by whether the relative GED is
+positive or negative").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.data.matching import MatchingPair
+from repro.data.triplets import GraphTriplet
+from repro.graph.graph import Graph
+
+
+def classification_accuracy(model, graphs: Sequence[Graph]) -> float:
+    """Fraction of graphs whose label the classifier predicts correctly."""
+    if not graphs:
+        raise ValueError("no graphs to evaluate")
+    correct = sum(1 for g in graphs if model.predict(g) == g.label)
+    return correct / len(graphs)
+
+
+def matching_accuracy(model, pairs: Sequence[MatchingPair]) -> float:
+    """Fraction of pairs classified correctly as matching/non-matching."""
+    if not pairs:
+        raise ValueError("no pairs to evaluate")
+    correct = sum(1 for p in pairs if model.predict(p) == p.label)
+    return correct / len(pairs)
+
+
+def triplet_accuracy(
+    predict_closer_to_right: Callable[[GraphTriplet], bool],
+    triplets: Sequence[GraphTriplet],
+) -> float:
+    """Sign-agreement accuracy over triplets.
+
+    ``predict_closer_to_right`` is any callable (a SimilarityModel /
+    SimGNN method, or a wrapper around a conventional GED algorithm)
+    returning True when the anchor is judged closer to the right graph.
+    Ties in the ground truth (relative GED exactly 0) are skipped, as
+    neither answer is wrong.
+    """
+    decided = [t for t in triplets if t.relative_ged != 0]
+    if not decided:
+        raise ValueError("all triplets are ties; nothing to evaluate")
+    correct = sum(
+        1 for t in decided if predict_closer_to_right(t) == t.closer_to_right
+    )
+    return correct / len(decided)

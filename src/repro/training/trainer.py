@@ -1,0 +1,136 @@
+"""Generic training loop.
+
+All three tasks train the same way: shuffle examples, accumulate
+per-example losses into mini-batches, Adam step, optionally track a
+validation metric with early stopping and best-weight restoration
+(the paper's Adam + 8:1:1 protocol, Sec. 6.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :func:`fit`."""
+
+    epochs: int = 30
+    lr: float = 0.01
+    batch_size: int = 8
+    patience: int | None = None  # early stopping on the validation metric
+    verbose: bool = False
+    #: multiply the learning rate by ``lr_decay`` every ``lr_step`` epochs
+    lr_decay: float = 1.0
+    lr_step: int = 10
+    #: clip the global gradient norm (None disables)
+    grad_clip: float | None = None
+
+
+def clip_gradients(parameters, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float((grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch losses and validation metric values."""
+
+    losses: list[float] = field(default_factory=list)
+    val_metrics: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_metric: float = -np.inf
+
+
+def fit(
+    model: Module,
+    examples: Sequence,
+    rng: np.random.Generator,
+    config: TrainConfig | None = None,
+    loss_fn: Callable | None = None,
+    val_metric: Callable[[], float] | None = None,
+) -> TrainHistory:
+    """Train ``model`` on ``examples``.
+
+    Parameters
+    ----------
+    loss_fn:
+        ``loss_fn(model, example) -> Tensor``; defaults to
+        ``model.loss(example)``.
+    val_metric:
+        Zero-argument callable evaluated after each epoch (higher is
+        better); enables early stopping and best-weight restoration.
+    """
+    config = config or TrainConfig()
+    if loss_fn is None:
+        loss_fn = lambda m, ex: m.loss(ex)  # noqa: E731 - tiny default
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    history = TrainHistory()
+    best_state = None
+    stale = 0
+
+    for epoch in range(config.epochs):
+        if config.lr_decay != 1.0 and epoch > 0 and epoch % config.lr_step == 0:
+            optimizer.lr *= config.lr_decay
+        model.train()
+        order = rng.permutation(len(examples))
+        epoch_loss = 0.0
+        for start in range(0, len(order), config.batch_size):
+            batch = order[start : start + config.batch_size]
+            optimizer.zero_grad()
+            total = None
+            for idx in batch:
+                loss = loss_fn(model, examples[idx])
+                total = loss if total is None else total + loss
+            total = total * (1.0 / len(batch))
+            if not np.isfinite(total.data):
+                raise FloatingPointError(
+                    f"non-finite loss at epoch {epoch} "
+                    f"(lr={config.lr}); reduce the learning rate"
+                )
+            total.backward()
+            if config.grad_clip is not None:
+                clip_gradients(optimizer.parameters, config.grad_clip)
+            optimizer.step()
+            epoch_loss += float(total.data) * len(batch)
+        history.losses.append(epoch_loss / max(len(examples), 1))
+
+        if val_metric is not None:
+            model.eval()
+            metric = float(val_metric())
+            history.val_metrics.append(metric)
+            if metric > history.best_metric:
+                history.best_metric = metric
+                history.best_epoch = epoch
+                best_state = model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+            if config.patience is not None and stale > config.patience:
+                break
+        if config.verbose:
+            val = history.val_metrics[-1] if history.val_metrics else float("nan")
+            print(f"epoch {epoch:3d}  loss {history.losses[-1]:.4f}  val {val:.4f}")
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    model.eval()
+    return history

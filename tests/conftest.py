@@ -1,0 +1,26 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, random_connected
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph(rng) -> Graph:
+    """A connected 8-node graph with features attached."""
+    g = random_connected(8, 0.35, rng)
+    return g.with_features(rng.normal(size=(8, 5)))
+
+
+@pytest.fixture
+def labelled_graph(rng) -> Graph:
+    g = random_connected(7, 0.3, rng)
+    return g.with_node_labels(rng.integers(0, 3, size=7))

@@ -1,0 +1,76 @@
+"""CLI: argument parsing and command execution."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_classify_defaults(self):
+        args = build_parser().parse_args(["classify"])
+        assert args.method == "HAP"
+        assert args.dataset == "MUTAG"
+
+    def test_rejects_ged_dataset_for_classification(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "--dataset", "AIDS"])
+
+    def test_similarity_dataset_choices(self):
+        args = build_parser().parse_args(["similarity", "--dataset", "LINUX"])
+        assert args.dataset == "LINUX"
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--num-graphs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "MUTAG" in out and "LINUX" in out
+
+    def test_classify_runs_and_saves(self, capsys, tmp_path):
+        target = tmp_path / "weights.npz"
+        code = main(
+            [
+                "classify",
+                "--method",
+                "SumPool",
+                "--dataset",
+                "IMDB-B",
+                "--num-graphs",
+                "30",
+                "--epochs",
+                "2",
+                "--save",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_match_runs(self, capsys):
+        code = main(
+            ["match", "--method", "SumPool", "--nodes", "10", "--pairs", "16",
+             "--epochs", "1"]
+        )
+        assert code == 0
+        assert "matching" in capsys.readouterr().out
+
+    def test_similarity_runs(self, capsys):
+        code = main(
+            ["similarity", "--method", "SumPool", "--dataset", "LINUX",
+             "--pool-size", "8", "--triplets", "20", "--epochs", "1"]
+        )
+        assert code == 0
+        assert "triplet accuracy" in capsys.readouterr().out
+
+    def test_crossval_runs(self, capsys):
+        code = main(
+            ["crossval", "--method", "SumPool", "--dataset", "IMDB-B",
+             "--num-graphs", "24", "--folds", "2", "--epochs", "1"]
+        )
+        assert code == 0
+        assert "folds" in capsys.readouterr().out

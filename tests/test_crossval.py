@@ -1,0 +1,47 @@
+"""Stratified k-fold splitting and cross-validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.data import stratified_k_fold
+from repro.evaluation import cross_validate_classification
+
+
+class TestStratifiedKFold:
+    def test_every_item_tested_once(self, rng):
+        labels = [0, 1] * 15
+        folds = stratified_k_fold(labels, 5, rng)
+        tested = np.concatenate([test for _, test in folds])
+        assert sorted(tested.tolist()) == list(range(30))
+
+    def test_class_balance_per_fold(self, rng):
+        labels = np.array([0] * 20 + [1] * 20)
+        for train_idx, test_idx in stratified_k_fold(labels, 4, rng):
+            test_labels = labels[test_idx]
+            assert (test_labels == 0).sum() == (test_labels == 1).sum()
+
+    def test_train_test_disjoint(self, rng):
+        labels = [0, 1, 2] * 8
+        for train_idx, test_idx in stratified_k_fold(labels, 3, rng):
+            assert not set(train_idx.tolist()) & set(test_idx.tolist())
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            stratified_k_fold([0, 1], 1, rng)
+        with pytest.raises(ValueError):
+            stratified_k_fold([0], 2, rng)
+
+
+class TestCrossValidation:
+    def test_result_statistics(self):
+        result = cross_validate_classification(
+            "SumPool", "IMDB-B", folds=3, num_graphs=45, epochs=3, hidden=8
+        )
+        assert len(result.fold_accuracies) == 3
+        assert 0.0 <= result.mean <= 1.0
+        assert result.std >= 0.0
+        assert "SumPool" in str(result)
+
+    def test_rejects_ged_datasets(self):
+        with pytest.raises(ValueError):
+            cross_validate_classification("SumPool", "AIDS", folds=2, num_graphs=10)

@@ -1,0 +1,212 @@
+"""Datasets, encodings, matching pairs, triplets, splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_BUILDERS,
+    GraphTriplet,
+    MatchingPair,
+    TripletGenerator,
+    attach_constant_features,
+    attach_degree_features,
+    attach_label_features,
+    dataset_statistics,
+    make_aids_like,
+    make_collab_like,
+    make_imdb_b_like,
+    make_imdb_m_like,
+    make_linux_like,
+    make_matching_dataset,
+    make_mutag_like,
+    make_proteins_like,
+    make_ptc_like,
+    train_val_test_split,
+)
+from repro.graph import Graph, exact_ged, is_connected, star_graph, subgraph_is_isomorphic
+
+
+class TestEncodings:
+    def test_degree_one_hot(self):
+        g = star_graph(5)
+        encoded = attach_degree_features(g, max_degree=8)
+        assert encoded.features.shape == (5, 8)
+        np.testing.assert_allclose(encoded.features.sum(axis=1), np.ones(5))
+        assert encoded.features[0, 4] == 1.0  # hub degree 4
+
+    def test_degree_clipping(self):
+        g = star_graph(20)
+        encoded = attach_degree_features(g, max_degree=4)
+        assert encoded.features[0, 3] == 1.0  # clipped into last bucket
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            attach_degree_features(star_graph(3), max_degree=0)
+
+    def test_label_one_hot(self):
+        g = star_graph(3).with_node_labels([0, 2, 1])
+        encoded = attach_label_features(g, num_labels=3)
+        np.testing.assert_array_equal(
+            encoded.features, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_label_requires_labels(self):
+        with pytest.raises(ValueError):
+            attach_label_features(star_graph(3), 2)
+
+    def test_label_out_of_range(self):
+        g = star_graph(3).with_node_labels([0, 1, 5])
+        with pytest.raises(ValueError):
+            attach_label_features(g, num_labels=3)
+
+    def test_constant_features(self):
+        encoded = attach_constant_features(star_graph(4), dim=3)
+        np.testing.assert_array_equal(encoded.features, np.ones((4, 3)))
+
+
+class TestClassificationDatasets:
+    @pytest.mark.parametrize(
+        "name", ["IMDB-B", "IMDB-M", "COLLAB", "MUTAG", "PROTEINS", "PTC"]
+    )
+    def test_registry_builders_produce_labelled_graphs(self, name, rng):
+        builder, encoding, num_classes = DATASET_BUILDERS[name]
+        graphs = builder(30, rng)
+        assert len(graphs) == 30
+        labels = {g.label for g in graphs}
+        assert labels <= set(range(num_classes))
+        assert len(labels) == num_classes  # all classes appear
+        assert all(is_connected(g) for g in graphs)
+
+    def test_mutag_identical_composition_across_classes(self, rng):
+        graphs = make_mutag_like(60, rng)
+        # Ring + two nitro groups: atom-type histogram of the shared part
+        # is identical; only chains/markers differ slightly.
+        for g in graphs:
+            labels = g.node_labels.tolist()
+            assert labels.count(1) == 2  # exactly two nitrogens
+            assert labels.count(2) == 4  # four oxygens
+
+    def test_mutag_statistics(self, rng):
+        stats = dataset_statistics("MUTAG", make_mutag_like(50, rng))
+        assert stats["num_graphs"] == 50
+        assert stats["num_classes"] == 2
+        assert 10 < stats["avg_nodes"] < 25
+
+    def test_imdb_b_clique_structure(self, rng):
+        for g in make_imdb_b_like(20, rng):
+            if g.label == 0:
+                # One dominant clique: max degree close to 60% of n.
+                assert g.degrees().max() >= 0.4 * g.num_nodes
+
+    def test_collab_hub_count_separates_classes(self, rng):
+        for g in make_collab_like(20, rng):
+            top_degrees = np.sort((g.adjacency != 0).sum(axis=1))[::-1]
+            hubs = int((top_degrees >= 0.6 * g.num_nodes).sum())
+            assert hubs == {0: 1, 1: 2, 2: 0}[g.label]
+
+    def test_ptc_has_label_noise(self, rng):
+        graphs = make_ptc_like(200, rng, label_noise=0.5)
+        clean = make_ptc_like(200, np.random.default_rng(12345), label_noise=0.0)
+        # With 50% noise labels are near-random; both classes still occur.
+        assert {g.label for g in graphs} == {0, 1}
+        assert {g.label for g in clean} == {0, 1}
+
+
+class TestGEDDatasets:
+    def test_aids_sizes_within_exact_regime(self, rng):
+        graphs = make_aids_like(40, rng)
+        assert all(g.num_nodes <= 10 for g in graphs)
+        assert all(g.node_labels is not None for g in graphs)
+
+    def test_linux_unlabelled_sparse(self, rng):
+        graphs = make_linux_like(40, rng)
+        assert all(g.num_nodes <= 10 for g in graphs)
+        assert all(g.node_labels is None for g in graphs)
+        assert all(g.num_edges <= g.num_nodes + 1 for g in graphs)
+
+    def test_stats_for_ged_dataset(self, rng):
+        stats = dataset_statistics("AIDS", make_aids_like(25, rng))
+        assert stats["num_classes"] is None
+        assert stats["max_nodes"] <= 10
+
+
+class TestMatchingDataset:
+    def test_balanced_labels(self, rng):
+        pairs = make_matching_dataset(20, 12, rng)
+        labels = [p.label for p in pairs]
+        assert labels.count(1) == 10 and labels.count(0) == 10
+
+    def test_positive_pairs_are_subgraph_isomorphic(self, rng):
+        pairs = make_matching_dataset(10, 10, rng)
+        for p in pairs:
+            if p.label == 1:
+                assert p.g2.num_nodes < p.g1.num_nodes
+                assert subgraph_is_isomorphic(p.g2, p.g1)
+
+    def test_negative_pairs_add_3_to_7_nodes(self, rng):
+        pairs = make_matching_dataset(10, 10, rng)
+        for p in pairs:
+            if p.label == 0:
+                extra = p.g2.num_nodes - p.g1.num_nodes
+                assert 3 <= extra <= 7
+                assert is_connected(p.g2)
+
+    def test_count_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_matching_dataset(0, 10, rng)
+
+
+class TestTriplets:
+    def test_relative_ged_consistency(self, rng):
+        graphs = make_linux_like(8, rng)
+        gen = TripletGenerator(graphs)
+        triplets = gen.sample(10, rng)
+        for t in triplets:
+            expected = exact_ged(t.anchor, t.left) - exact_ged(t.anchor, t.right)
+            assert t.relative_ged == pytest.approx(expected)
+
+    def test_closer_to_right_flag(self):
+        g = star_graph(3)
+        t = GraphTriplet(g, g, g, relative_ged=2.0)
+        assert t.closer_to_right
+        t2 = GraphTriplet(g, g, g, relative_ged=-1.0)
+        assert not t2.closer_to_right
+
+    def test_distinct_positions(self, rng):
+        graphs = make_linux_like(6, rng)
+        gen = TripletGenerator(graphs)
+        for t in gen.sample(30, rng):
+            assert t.left is not t.right
+
+    def test_cache_reuse(self, rng):
+        graphs = make_linux_like(5, rng)
+        gen = TripletGenerator(graphs)
+        first = gen.proximity(0, 1)
+        assert gen.proximity(1, 0) == first  # symmetric cache key
+        assert len(gen._cache) == 1
+
+    def test_needs_three_graphs(self, rng):
+        with pytest.raises(ValueError):
+            TripletGenerator(make_linux_like(2, rng))
+
+
+class TestSplits:
+    def test_811_partition(self, rng):
+        items = list(range(100))
+        train, val, test = train_val_test_split(items, rng)
+        assert len(train) == 80 and len(val) == 10 and len(test) == 10
+        assert sorted(train + val + test) == items
+
+    def test_small_inputs_keep_val_and_test_nonempty(self, rng):
+        train, val, test = train_val_test_split([1, 2, 3, 4, 5], rng)
+        assert len(val) >= 1 and len(test) >= 1
+        assert len(train) + len(val) + len(test) == 5
+
+    def test_ratio_validation(self, rng):
+        with pytest.raises(ValueError):
+            train_val_test_split([1, 2, 3], rng, ratios=(0.5, 0.2, 0.2))
+
+    def test_seeded_determinism(self):
+        a = train_val_test_split(list(range(30)), np.random.default_rng(5))
+        b = train_val_test_split(list(range(30)), np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,42 @@
+"""Graph dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_graphs, save_graphs
+from repro.data.datasets import make_aids_like, make_imdb_b_like
+from repro.data.encoding import attach_degree_features
+
+
+class TestSaveLoadGraphs:
+    def test_roundtrip_labelled_molecules(self, rng, tmp_path):
+        graphs = make_aids_like(6, rng)
+        path = tmp_path / "aids.npz"
+        save_graphs(graphs, path, name="aids-like")
+        loaded, name = load_graphs(path)
+        assert name == "aids-like"
+        assert len(loaded) == 6
+        for original, restored in zip(graphs, loaded):
+            np.testing.assert_array_equal(original.adjacency, restored.adjacency)
+            np.testing.assert_array_equal(original.node_labels, restored.node_labels)
+            assert restored.features is None
+
+    def test_roundtrip_with_features_and_labels(self, rng, tmp_path):
+        graphs = [attach_degree_features(g, 8) for g in make_imdb_b_like(4, rng)]
+        path = tmp_path / "imdb.npz"
+        save_graphs(graphs, path)
+        loaded, _ = load_graphs(path)
+        for original, restored in zip(graphs, loaded):
+            np.testing.assert_array_equal(original.features, restored.features)
+            assert restored.label == original.label
+            assert restored.node_labels is None
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_graphs([], tmp_path / "x.npz")
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, junk=np.zeros(2))
+        with pytest.raises(ValueError):
+            load_graphs(path)

@@ -1,0 +1,142 @@
+"""Feature vectors, Hausdorff GED lower bound, Watts-Strogatz graphs,
+learning curves."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.learning_curves import LearningCurve, learning_curve
+from repro.ged import hausdorff_ged, hungarian_ged
+from repro.graph import (
+    FeatureVectorClassifier,
+    Graph,
+    clustering_coefficient,
+    complete_graph,
+    cycle_graph,
+    exact_ged,
+    graph_feature_vector,
+    is_connected,
+    path_graph,
+    random_connected,
+    spectral_gap,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.features import FEATURE_VECTOR_DIM
+
+
+class TestHausdorffGED:
+    def test_lower_bounds_exact_on_random_pairs(self, rng):
+        for _ in range(15):
+            g1 = random_connected(int(rng.integers(3, 8)), 0.35, rng)
+            g2 = random_connected(int(rng.integers(3, 8)), 0.35, rng)
+            assert hausdorff_ged(g1, g2) <= exact_ged(g1, g2) + 1e-9
+
+    def test_bracket_with_upper_bound(self, rng):
+        g1 = random_connected(6, 0.4, rng)
+        g2 = random_connected(7, 0.4, rng)
+        lower = hausdorff_ged(g1, g2)
+        upper = hungarian_ged(g1, g2)
+        exact = exact_ged(g1, g2)
+        assert lower - 1e-9 <= exact <= upper + 1e-9
+
+    def test_symmetric(self, rng):
+        g1 = random_connected(5, 0.4, rng)
+        g2 = random_connected(6, 0.4, rng)
+        assert hausdorff_ged(g1, g2) == pytest.approx(hausdorff_ged(g2, g1))
+
+    def test_labelled_graphs(self, rng):
+        g1 = path_graph(4).with_node_labels([0, 0, 1, 1])
+        g2 = path_graph(4).with_node_labels([1, 1, 0, 0])
+        assert hausdorff_ged(g1, g2) <= exact_ged(g1, g2) + 1e-9
+
+    def test_empty_graph_cost(self):
+        g = cycle_graph(4)
+        assert hausdorff_ged(Graph.empty(0), g) == 8.0  # 4 nodes + 4 edges
+
+
+class TestWattsStrogatz:
+    def test_edge_count_preserved_by_rewiring(self, rng):
+        g = watts_strogatz(20, 4, 0.3, rng)
+        assert g.num_nodes == 20
+        assert g.num_edges == 20 * 4 // 2
+
+    def test_p_zero_is_ring_lattice(self, rng):
+        g = watts_strogatz(10, 2, 0.0, rng)
+        # k=2 ring lattice is exactly the cycle.
+        np.testing.assert_array_equal(g.adjacency, cycle_graph(10).adjacency)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1, rng)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1, rng)  # k >= n
+
+    def test_small_world_shortcut_effect(self, rng):
+        # Rewiring should keep high clustering relative to ER of the same
+        # density at moderate p (classic small-world regime).
+        g = watts_strogatz(30, 6, 0.1, rng)
+        assert clustering_coefficient(g) > 0.2
+
+
+class TestGraphStatistics:
+    def test_clustering_coefficient_extremes(self):
+        assert clustering_coefficient(complete_graph(5)) == pytest.approx(1.0)
+        assert clustering_coefficient(star_graph(5)) == 0.0
+
+    def test_spectral_gap_connectivity(self, rng):
+        connected = random_connected(8, 0.5, rng)
+        # Two disjoint edges: eigenvalue 0 has multiplicity 2, so the
+        # second-smallest eigenvalue (the gap) is 0.
+        disconnected = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert spectral_gap(connected) > 1e-6
+        assert spectral_gap(disconnected) == pytest.approx(0.0, abs=1e-9)
+
+    def test_feature_vector_shape_and_finite(self, rng):
+        for g in (complete_graph(6), path_graph(9),
+                  random_connected(12, 0.3, rng).with_node_labels(
+                      rng.integers(0, 3, 12))):
+            vec = graph_feature_vector(g)
+            assert vec.shape == (FEATURE_VECTOR_DIM,)
+            assert np.all(np.isfinite(vec))
+
+    def test_feature_vector_separates_structures(self):
+        a = graph_feature_vector(complete_graph(8))
+        b = graph_feature_vector(path_graph(8))
+        assert np.linalg.norm(a - b) > 0.1
+
+
+class TestFeatureVectorClassifier:
+    def test_learns_trivial_split(self, rng):
+        from repro.training import TrainConfig, fit
+
+        graphs = []
+        for n in range(5, 9):
+            graphs.append(complete_graph(n).with_label(1))
+            graphs.append(path_graph(n).with_label(0))
+        clf = FeatureVectorClassifier(2, rng)
+        fit(clf, graphs, rng, TrainConfig(epochs=60, lr=0.05))
+        assert sum(clf.predict(g) == g.label for g in graphs) == len(graphs)
+
+    def test_loss_requires_label(self, rng):
+        clf = FeatureVectorClassifier(2, rng)
+        with pytest.raises(ValueError):
+            clf.loss(path_graph(3))
+
+
+class TestLearningCurve:
+    def test_curve_shape(self):
+        curve = learning_curve(
+            "SumPool", "IMDB-B", sizes=[10, 20], epochs=3, hidden=8,
+            test_size=20,
+        )
+        assert curve.sizes == [10, 20]
+        assert len(curve.accuracies) == 2
+        assert all(0.0 <= a <= 1.0 for a in curve.accuracies)
+        rows = curve.as_rows()
+        assert set(rows) == {"n=10", "n=20"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            learning_curve("SumPool", "IMDB-B", sizes=[1])
+        with pytest.raises(ValueError):
+            learning_curve("SumPool", "AIDS", sizes=[10])

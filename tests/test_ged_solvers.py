@@ -1,0 +1,149 @@
+"""LAP solvers and approximate GED algorithms."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.ged import (
+    beam_ged,
+    bipartite_ged,
+    hungarian,
+    hungarian_ged,
+    jonker_volgenant,
+    mapping_edit_cost,
+    vj_ged,
+)
+from repro.graph import exact_ged, path_graph, random_connected
+from repro.graph.edit_distance import EPS
+
+
+def _scipy_optimum(cost):
+    rows, cols = linear_sum_assignment(cost)
+    return cost[rows, cols].sum()
+
+
+class TestHungarian:
+    def test_square_matches_scipy(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(2, 10))
+            cost = rng.random((n, n)) * 10.0
+            assignment, total = hungarian(cost)
+            assert total == pytest.approx(_scipy_optimum(cost))
+            # Assignment is a permutation achieving the reported cost.
+            assert sorted(assignment.tolist()) == list(range(n))
+            assert cost[np.arange(n), assignment].sum() == pytest.approx(total)
+
+    def test_rectangular_both_orientations(self, rng):
+        for shape in [(3, 7), (7, 3)]:
+            cost = rng.random(shape)
+            assignment, total = hungarian(cost)
+            assert total == pytest.approx(_scipy_optimum(cost))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            hungarian(np.zeros(3))
+
+    def test_integer_costs(self):
+        cost = np.array([[4, 1, 3], [2, 0, 5], [3, 2, 2]], dtype=float)
+        _, total = hungarian(cost)
+        assert total == 5.0
+
+
+class TestJonkerVolgenant:
+    def test_matches_scipy_on_random_squares(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(1, 12))
+            cost = rng.random((n, n)) * 5.0
+            assignment, total = jonker_volgenant(cost)
+            assert total == pytest.approx(_scipy_optimum(cost))
+            assert sorted(assignment.tolist()) == list(range(n))
+
+    def test_handles_ties(self):
+        cost = np.ones((4, 4))
+        _, total = jonker_volgenant(cost)
+        assert total == 4.0
+
+    def test_empty(self):
+        assignment, total = jonker_volgenant(np.zeros((0, 0)))
+        assert total == 0.0 and len(assignment) == 0
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            jonker_volgenant(np.zeros((2, 3)))
+
+
+class TestMappingEditCost:
+    def test_identity_mapping_zero(self, rng):
+        g = random_connected(5, 0.4, rng)
+        assert mapping_edit_cost(g, g, list(range(5))) == 0.0
+
+    def test_all_deletions(self):
+        g = path_graph(3)
+        # Delete all 3 nodes (+2 edges), insert 3 nodes (+2 edges).
+        cost = mapping_edit_cost(g, path_graph(3), [EPS, EPS, EPS])
+        assert cost == (3 + 2) + (3 + 2)
+
+    def test_requires_full_mapping(self, rng):
+        g = random_connected(4, 0.4, rng)
+        with pytest.raises(ValueError):
+            mapping_edit_cost(g, g, [0, 1])
+
+
+class TestApproximations:
+    def _random_pair(self, rng):
+        g1 = random_connected(int(rng.integers(3, 7)), 0.35, rng)
+        g2 = random_connected(int(rng.integers(3, 7)), 0.35, rng)
+        return g1, g2
+
+    def test_all_upper_bound_exact(self, rng):
+        for _ in range(8):
+            g1, g2 = self._random_pair(rng)
+            reference = exact_ged(g1, g2)
+            for approx in (
+                lambda a, b: beam_ged(a, b, 1),
+                lambda a, b: beam_ged(a, b, 80),
+                hungarian_ged,
+                vj_ged,
+            ):
+                assert approx(g1, g2) >= reference - 1e-9
+
+    def test_wider_beam_never_worse(self, rng):
+        for _ in range(6):
+            g1, g2 = self._random_pair(rng)
+            assert beam_ged(g1, g2, 80) <= beam_ged(g1, g2, 1) + 1e-9
+
+    def test_beam80_usually_exact_on_small_graphs(self, rng):
+        hits = 0
+        trials = 8
+        for _ in range(trials):
+            g1, g2 = self._random_pair(rng)
+            if beam_ged(g1, g2, 80) == pytest.approx(exact_ged(g1, g2)):
+                hits += 1
+        assert hits >= trials - 1
+
+    def test_identity_pairs(self, rng):
+        g = random_connected(6, 0.3, rng)
+        # A wide beam keeps the identity mapping alive to the end.
+        assert beam_ged(g, g, 80) == 0.0
+        # Bipartite GED is only an upper bound: its LAP may select a
+        # degree-equivalent but non-isomorphic mapping even on identical
+        # graphs, so it is >= 0, not == 0.
+        assert hungarian_ged(g, g) >= 0.0
+        assert vj_ged(g, g) >= 0.0
+
+    def test_beam_width_validation(self, rng):
+        g = random_connected(3, 0.5, rng)
+        with pytest.raises(ValueError):
+            beam_ged(g, g, 0)
+
+    def test_unknown_solver_rejected(self, rng):
+        g = random_connected(3, 0.5, rng)
+        with pytest.raises(ValueError):
+            bipartite_ged(g, g, solver="simplex")
+
+    def test_labelled_graphs_supported(self, rng):
+        g1 = random_connected(5, 0.35, rng).with_node_labels(rng.integers(0, 3, 5))
+        g2 = random_connected(5, 0.35, rng).with_node_labels(rng.integers(0, 3, 5))
+        reference = exact_ged(g1, g2)
+        assert hungarian_ged(g1, g2) >= reference - 1e-9
+        assert beam_ged(g1, g2, 80) >= reference - 1e-9

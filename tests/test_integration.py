@@ -1,0 +1,94 @@
+"""End-to-end integration: the three tasks through the full stack.
+
+These mirror the benchmark harness at toy scale, checking that every
+pipeline (data -> features -> model -> training -> metric) runs and
+learns something better than chance where the budget permits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.harness import (
+    ged_triplet_accuracy,
+    make_similarity_task,
+    run_classification,
+    run_matching,
+    run_similarity,
+    run_tsne_study,
+)
+from repro.ged import hungarian_ged
+
+
+class TestClassificationPipeline:
+    def test_hap_learns_imdb(self):
+        result = run_classification(
+            "HAP", "IMDB-B", num_graphs=60, epochs=10, hidden=12, seed=3
+        )
+        assert result.accuracy >= 0.5
+        assert len(result.test_graphs) >= 1
+
+    def test_flat_baseline_runs(self):
+        result = run_classification(
+            "MeanPool", "PROTEINS", num_graphs=40, epochs=8, hidden=12, seed=3
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_ged_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            run_classification("HAP", "AIDS", num_graphs=10)
+
+
+class TestMatchingPipeline:
+    def test_hap_matching_beats_chance(self):
+        acc = run_matching("HAP", num_nodes=14, num_pairs=60, epochs=10, hidden=12, seed=4)
+        assert acc >= 0.5
+
+    def test_gmn_runs(self):
+        acc = run_matching("GMN", num_nodes=12, num_pairs=30, epochs=4, hidden=12, seed=4)
+        assert 0.0 <= acc <= 1.0
+
+    def test_generalisation_override(self):
+        from repro.data.matching import make_matching_dataset
+
+        big_pairs = make_matching_dataset(8, 30, np.random.default_rng(9))
+        acc = run_matching(
+            "HAP",
+            num_nodes=12,
+            num_pairs=30,
+            epochs=4,
+            hidden=12,
+            seed=4,
+            test_pairs=big_pairs,
+        )
+        assert 0.0 <= acc <= 1.0
+
+
+class TestSimilarityPipeline:
+    def test_hap_similarity_runs(self):
+        acc = run_similarity(
+            "HAP", "LINUX", pool_size=10, num_triplets=40, epochs=5, hidden=12, seed=5
+        )
+        assert 0.0 <= acc <= 1.0
+
+    def test_ged_baseline_accuracy_reasonable(self):
+        _, test, _, _ = make_similarity_task(
+            "LINUX", seed=5, pool_size=10, num_triplets=40
+        )
+        acc = ged_triplet_accuracy(hungarian_ged, test)
+        # An upper-bound GED heuristic should agree with exact GED signs
+        # far more often than chance on tree-like graphs.
+        assert acc >= 0.6
+
+
+class TestVisualisationPipeline:
+    def test_tsne_study_outputs(self):
+        result = run_classification(
+            "MeanPool", "IMDB-B", num_graphs=50, epochs=6, hidden=12, seed=6
+        )
+        rng = np.random.default_rng(0)
+        # Use train+test graphs for enough points.
+        coords, labels, silhouette = run_tsne_study(
+            result.model, result.test_graphs * 4, rng
+        )
+        assert coords.shape == (len(labels), 2)
+        assert -1.0 <= silhouette <= 1.0

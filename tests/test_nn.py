@@ -1,0 +1,241 @@
+"""Module system, layers, optimisers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Bilinear,
+    Dropout,
+    Linear,
+    LSTMCell,
+    MLP,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    binary_cross_entropy,
+    cross_entropy,
+    mse_loss,
+    nll_loss,
+    pairwise_matching_loss,
+    triplet_mse_loss,
+)
+from repro.tensor import Tensor, check_gradients, log_softmax
+
+
+class TestModule:
+    def test_parameter_registration(self, rng):
+        lin = Linear(3, 2, rng)
+        names = dict(lin.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        assert len(list(seq.parameters())) == 4
+        assert sum(1 for _ in seq.modules()) == 3
+
+    def test_num_parameters(self, rng):
+        lin = Linear(3, 2, rng)
+        assert lin.num_parameters() == 3 * 2 + 2
+
+    def test_train_eval_recursive(self, rng):
+        seq = Sequential(Linear(2, 2, rng))
+        seq.eval()
+        assert not seq.layers[0].training
+        seq.train()
+        assert seq.layers[0].training
+
+    def test_state_dict_roundtrip(self, rng):
+        lin = Linear(3, 2, rng)
+        state = lin.state_dict()
+        lin.weight.data += 1.0
+        lin.load_state_dict(state)
+        np.testing.assert_allclose(lin.weight.data, state["weight"])
+
+    def test_state_dict_mismatch_raises(self, rng):
+        lin = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({"weight": np.zeros((3, 2))})
+        bad = lin.state_dict()
+        bad["weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            lin.load_state_dict(bad)
+
+    def test_zero_grad_clears_all(self, rng):
+        lin = Linear(2, 2, rng)
+        out = lin(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self, rng):
+        lin = Linear(4, 3, rng)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        out = lin(x)
+        assert out.shape == (5, 3)
+        check_gradients(lambda: lin(x).sum(), [x, lin.weight, lin.bias])
+
+    def test_linear_no_bias(self, rng):
+        lin = Linear(4, 3, rng, bias=False)
+        assert lin.bias is None
+        assert len(list(lin.parameters())) == 1
+
+    def test_mlp_depth_and_activation(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng)
+        out = mlp(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = Dropout(0.5, rng)
+        x = Tensor(np.ones((100, 10)))
+        out_train = drop(x)
+        assert (out_train.data == 0).any()
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_dropout_rate_validation(self, rng):
+        drop = Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            drop(Tensor(np.ones(3)))
+
+    def test_lstm_cell_step(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell.initial_state()
+        assert h.shape == (6,)
+        h2, c2 = cell(Tensor(rng.normal(size=4)), (h, c))
+        assert h2.shape == (6,) and c2.shape == (6,)
+        # Gradients flow through two steps.
+        x = Tensor(rng.normal(size=4), requires_grad=True)
+        def roll():
+            s = cell.initial_state()
+            s = cell(x, s)
+            s = cell(x, s)
+            return s[0].sum()
+        check_gradients(roll, [x])
+
+    def test_bilinear_output_and_grad(self, rng):
+        bl = Bilinear(3, 5, rng)
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        assert bl(a, b).shape == (5,)
+        check_gradients(lambda: bl(a, b).sum(), [a, b, bl.tensor_weight])
+
+
+class TestOptimizers:
+    def test_sgd_minimises_quadratic(self):
+        w = Parameter(np.array(5.0))
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (w * w).backward()
+            opt.step()
+        assert abs(float(w.data)) < 1e-3
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def run(momentum):
+            w = Parameter(np.array(5.0))
+            opt = SGD([w], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (w * w).backward()
+                opt.step()
+            return abs(float(w.data))
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_minimises_rosenbrock_ish(self):
+        w = Parameter(np.array([2.0, -2.0]))
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            loss = ((w - Tensor([1.0, 3.0])) ** 2.0).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, [1.0, 3.0], atol=1e-2)
+
+    def test_adam_weight_decay_shrinks(self):
+        w = Parameter(np.array(1.0))
+        opt = Adam([w], lr=0.01, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()
+            opt.step()
+        assert abs(float(w.data)) < 1.0
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_step_skips_gradless_params(self):
+        w = Parameter(np.array(1.0))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no grad: should be a no-op, not crash
+        np.testing.assert_allclose(w.data, 1.0)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = Tensor(rng.normal(size=5), requires_grad=True)
+        loss = cross_entropy(logits, 2)
+        manual = -log_softmax(logits)[2]
+        np.testing.assert_allclose(loss.data, manual.data)
+        check_gradients(lambda: cross_entropy(logits, 2), [logits])
+
+    def test_nll_loss(self, rng):
+        logits = Tensor(rng.normal(size=4))
+        lp = log_softmax(logits)
+        np.testing.assert_allclose(nll_loss(lp, 1).data, -lp.data[1])
+
+    def test_mse_loss_zero_at_target(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert float(mse_loss(pred, np.array([1.0, 2.0])).data) == 0.0
+
+    def test_binary_cross_entropy_direction(self):
+        high = Tensor(0.9)
+        low = Tensor(0.1)
+        assert float(binary_cross_entropy(high, 1).data) < float(
+            binary_cross_entropy(low, 1).data
+        )
+        assert float(binary_cross_entropy(low, 0).data) < float(
+            binary_cross_entropy(high, 0).data
+        )
+
+    def test_pairwise_matching_loss_prefers_small_distance_for_match(self):
+        near = [Tensor(0.1, requires_grad=True)]
+        far = [Tensor(5.0, requires_grad=True)]
+        assert float(pairwise_matching_loss(near, 1).data) < float(
+            pairwise_matching_loss(far, 1).data
+        )
+        assert float(pairwise_matching_loss(far, 0).data) < float(
+            pairwise_matching_loss(near, 0).data
+        )
+
+    def test_pairwise_matching_loss_averages_levels(self):
+        d = Tensor(1.0)
+        single = float(pairwise_matching_loss([d], 1).data)
+        double = float(pairwise_matching_loss([d, d], 1).data)
+        np.testing.assert_allclose(single, double)
+
+    def test_pairwise_matching_loss_empty_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_matching_loss([], 1)
+
+    def test_triplet_mse_zero_when_exact(self):
+        left = [Tensor(3.0)]
+        right = [Tensor(1.0)]
+        loss = triplet_mse_loss(left, right, relative_ged=2.0)
+        np.testing.assert_allclose(float(loss.data), 0.0)
+
+    def test_triplet_mse_mismatched_levels_raise(self):
+        with pytest.raises(ValueError):
+            triplet_mse_loss([Tensor(1.0)], [], 0.0)

@@ -1,0 +1,158 @@
+"""Flat pooling readouts: universal, Set2Set, SortPooling."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GNNEncoder
+from repro.pooling import (
+    GatedAttPool,
+    GCNConcat,
+    MaxPool,
+    MeanAttPool,
+    MeanPool,
+    Set2Set,
+    SortPooling,
+    SumPool,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def features(rng):
+    return Tensor(rng.normal(size=(9, 6)))
+
+
+class TestElementwisePools:
+    def test_sum_matches_numpy(self, features):
+        out = SumPool(6)(None, features)
+        np.testing.assert_allclose(out.data, features.data.sum(axis=0))
+
+    def test_mean_matches_numpy(self, features):
+        out = MeanPool(6)(None, features)
+        np.testing.assert_allclose(out.data, features.data.mean(axis=0))
+
+    def test_max_matches_numpy(self, features):
+        out = MaxPool(6)(None, features)
+        np.testing.assert_allclose(out.data, features.data.max(axis=0))
+
+    def test_sum_distinguishes_multiplicity_mean_does_not(self):
+        # The GIN argument: mean pooling confuses graphs whose nodes
+        # repeat the same features a different number of times.
+        single = Tensor(np.ones((2, 3)))
+        double = Tensor(np.ones((4, 3)))
+        assert np.allclose(
+            MeanPool(3)(None, single).data, MeanPool(3)(None, double).data
+        )
+        assert not np.allclose(
+            SumPool(3)(None, single).data, SumPool(3)(None, double).data
+        )
+
+    def test_permutation_invariance(self, rng, features):
+        perm = rng.permutation(9)
+        permuted = Tensor(features.data[perm])
+        for pool in (SumPool(6), MeanPool(6), MaxPool(6)):
+            np.testing.assert_allclose(
+                pool(None, features).data, pool(None, permuted).data
+            )
+
+    def test_gradients_flow(self, rng):
+        h = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        SumPool(3)(None, h).sum().backward()
+        np.testing.assert_allclose(h.grad, np.ones((4, 3)))
+
+
+class TestAttentionPools:
+    def test_meanatt_shape_and_range(self, rng, features):
+        pool = MeanAttPool(6, rng)
+        scores = pool.attention(features)
+        assert scores.shape == (9,)
+        assert np.all(scores.data > 0) and np.all(scores.data < 1)
+        assert pool(None, features).shape == (6,)
+
+    def test_meanatt_permutation_invariant(self, rng, features):
+        pool = MeanAttPool(6, rng)
+        perm = rng.permutation(9)
+        np.testing.assert_allclose(
+            pool(None, features).data,
+            pool(None, Tensor(features.data[perm])).data,
+            atol=1e-12,
+        )
+
+    def test_gated_pool_shape_and_invariance(self, rng, features):
+        pool = GatedAttPool(6, rng)
+        out = pool(None, features)
+        assert out.shape == (6,)
+        perm = rng.permutation(9)
+        np.testing.assert_allclose(
+            out.data, pool(None, Tensor(features.data[perm])).data, atol=1e-12
+        )
+
+    def test_attention_params_receive_gradients(self, rng, features):
+        pool = MeanAttPool(6, rng)
+        pool(None, features).sum().backward()
+        assert pool.weight.grad is not None
+
+
+class TestGCNConcat:
+    def test_concatenates_layer_outputs(self, rng, small_graph):
+        enc = GNNEncoder([5, 4, 3], rng)
+        pool = GCNConcat(enc)
+        out = pool(small_graph.adjacency, Tensor(small_graph.features))
+        assert out.shape == (7,)  # 4 + 3
+        assert pool.out_features == 7
+
+
+class TestSet2Set:
+    def test_output_is_double_width(self, rng, features):
+        pool = Set2Set(6, rng, steps=2)
+        assert pool(None, features).shape == (12,)
+        assert pool.out_features == 12
+
+    def test_permutation_invariance(self, rng, features):
+        pool = Set2Set(6, rng, steps=3)
+        perm = rng.permutation(9)
+        np.testing.assert_allclose(
+            pool(None, features).data,
+            pool(None, Tensor(features.data[perm])).data,
+            atol=1e-10,
+        )
+
+    def test_steps_validation(self, rng):
+        with pytest.raises(ValueError):
+            Set2Set(4, rng, steps=0)
+
+    def test_lstm_params_receive_gradients(self, rng, features):
+        pool = Set2Set(6, rng)
+        pool(None, features).sum().backward()
+        assert pool.lstm.w_ih.grad is not None
+
+
+class TestSortPooling:
+    def test_sorts_by_last_channel(self):
+        h = Tensor(np.array([[9.0, 0.1], [1.0, 0.3], [5.0, 0.2]]))
+        out = SortPooling(2, k=3)(None, h)
+        # Sorted by channel -1 descending: rows 1, 2, 0.
+        np.testing.assert_allclose(out.data, [1.0, 0.3, 5.0, 0.2, 9.0, 0.1])
+
+    def test_pads_small_graphs(self):
+        h = Tensor(np.ones((2, 3)))
+        out = SortPooling(3, k=4)(None, h)
+        assert out.shape == (12,)
+        assert np.all(out.data[6:] == 0)
+
+    def test_truncates_large_graphs(self, rng):
+        h = Tensor(rng.normal(size=(10, 3)))
+        out = SortPooling(3, k=4)(None, h)
+        assert out.shape == (12,)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SortPooling(3, k=0)
+
+    def test_gradient_reaches_selected_nodes_only(self, rng):
+        data = rng.normal(size=(5, 2))
+        data[:, -1] = [5, 4, 3, 2, 1]  # descending already
+        h = Tensor(data, requires_grad=True)
+        SortPooling(2, k=2)(None, h).sum().backward()
+        assert np.all(h.grad[:2] == 1.0)
+        assert np.all(h.grad[2:] == 0.0)

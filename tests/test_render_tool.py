@@ -1,0 +1,49 @@
+"""The results-rendering tool."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import render_experiments  # noqa: E402
+
+
+class TestRenderFile:
+    def test_renders_rows_table(self, tmp_path):
+        payload = {"title": "Table X", "rows": {"HAP": {"A": 0.9}}}
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(payload))
+        text = render_experiments.render_file(path)
+        assert "## Table X" in text
+        assert "90.00%" in text
+
+    def test_unstructured_payload_handled(self, tmp_path):
+        payload = {"title": "weird", "rows": {"a": 1.0}}
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps(payload))
+        text = render_experiments.render_file(path)
+        assert "unstructured" in text
+
+    def test_non_percent_values_rendered_raw(self, tmp_path):
+        payload = {"title": "raw", "rows": {"x": {"c": 12.5}}}
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(payload))
+        text = render_experiments.render_file(path)
+        assert "12.5" in text
+
+
+class TestMain:
+    def test_missing_pattern_errors(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(render_experiments, "RESULTS_DIR", tmp_path)
+        (tmp_path / "one.json").write_text(
+            json.dumps({"title": "t", "rows": {"m": {"c": 0.5}}})
+        )
+        assert render_experiments.main(["nomatch"]) == 1
+        assert render_experiments.main(["one"]) == 0
+
+    def test_missing_dir_errors(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(render_experiments, "RESULTS_DIR", tmp_path / "nope")
+        assert render_experiments.main([]) == 1

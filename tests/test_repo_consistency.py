@@ -1,0 +1,66 @@
+"""Repository self-consistency: docs, benchmarks and code agree."""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestReadmeReferences:
+    def test_every_quickstart_example_exists(self):
+        readme = (REPO / "README.md").read_text()
+        for line in readme.splitlines():
+            if line.startswith("python examples/"):
+                script = line.split()[1]
+                assert (REPO / script).is_file(), script
+
+    def test_every_listed_benchmark_exists(self):
+        readme = (REPO / "README.md").read_text()
+        for line in readme.splitlines():
+            if line.startswith("| `test_") and "`" in line:
+                name = line.split("`")[1]
+                assert (REPO / "benchmarks" / name).is_file(), name
+
+    def test_docs_exist(self):
+        for doc in ("api.md", "datasets.md", "reproducing.md",
+                    "design_notes.md", "tutorial_custom_pooling.md"):
+            assert (REPO / "docs" / doc).is_file(), doc
+
+
+class TestDesignDocCoverage:
+    def test_every_paper_experiment_has_a_benchmark(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for line in design.splitlines():
+            if "benchmarks/test_" in line:
+                name = line.split("benchmarks/")[1].split("`")[0]
+                assert (REPO / "benchmarks" / name).is_file(), name
+
+    def test_experiments_doc_covers_all_paper_tables(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for heading in ("Table 2", "Table 3", "Table 4", "Table 5",
+                        "Table 6", "Table 7", "Fig. 4", "Fig. 5", "Fig. 6"):
+            assert heading in experiments, heading
+
+
+class TestBenchmarksAreSelfContained:
+    def test_each_benchmark_prints_and_persists(self):
+        for path in sorted((REPO / "benchmarks").glob("test_*.py")):
+            source = path.read_text()
+            assert "run_once" in source, path.name
+            assert "persist_rows" in source, path.name
+
+    def test_examples_have_docstrings_and_main(self):
+        for path in sorted((REPO / "examples").glob("*.py")):
+            source = path.read_text()
+            assert source.startswith('"""'), path.name
+            assert '__name__ == "__main__"' in source, path.name
+
+
+class TestZooMatchesDocs:
+    def test_table3_method_names_documented(self):
+        from repro.models import zoo
+
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for method in zoo.CLASSIFICATION_METHODS:
+            assert method in experiments, method

@@ -1,0 +1,57 @@
+"""Model persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.models import zoo
+from repro.nn import Linear, load_module, save_module
+from repro.training import classification_accuracy
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_values(self, rng, tmp_path):
+        lin = Linear(4, 3, rng)
+        path = tmp_path / "model.npz"
+        save_module(lin, path, metadata={"note": "test"})
+        fresh = Linear(4, 3, np.random.default_rng(999))
+        assert not np.allclose(fresh.weight.data, lin.weight.data)
+        meta = load_module(fresh, path)
+        np.testing.assert_array_equal(fresh.weight.data, lin.weight.data)
+        assert meta == {"note": "test"}
+
+    def test_full_model_roundtrip_preserves_predictions(self, rng, tmp_path):
+        from repro.data import attach_degree_features
+        from repro.graph import random_connected
+
+        graphs = [
+            attach_degree_features(
+                random_connected(8, 0.35, rng).with_label(i % 2), 8
+            )
+            for i in range(6)
+        ]
+        model = zoo.make_classifier("HAP", 8, 2, rng, hidden=8, cluster_sizes=(3, 1))
+        model.eval()
+        before = [model.predict(g) for g in graphs]
+        path = tmp_path / "hap.npz"
+        save_module(model, path)
+        clone = zoo.make_classifier(
+            "HAP", 8, 2, np.random.default_rng(123), hidden=8, cluster_sizes=(3, 1)
+        )
+        load_module(clone, path)
+        clone.eval()
+        after = [clone.predict(g) for g in graphs]
+        assert before == after
+
+    def test_wrong_architecture_rejected(self, rng, tmp_path):
+        lin = Linear(4, 3, rng)
+        path = tmp_path / "model.npz"
+        save_module(lin, path)
+        other = Linear(5, 3, rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(other, path)
+
+    def test_non_archive_rejected(self, rng, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_module(Linear(2, 2, rng), path)

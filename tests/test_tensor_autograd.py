@@ -1,0 +1,121 @@
+"""Autograd engine semantics: tape, accumulation, no_grad, errors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+class TestTape:
+    def test_gradient_accumulates_over_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * a + a * 3.0  # d/da = 2a + 3 = 7
+        out.backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_backward_twice_accumulates_into_leaf(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        (a * 2.0).backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad_resets(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 5.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 4.0
+        (b + c).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_deep_chain(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(50):
+            x = x * 1.1
+        x.backward()
+        np.testing.assert_allclose(a.grad, [1.1**50], rtol=1e-10)
+
+    def test_constant_branch_gets_no_gradient(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # constant
+        (a * b).backward()
+        assert b.grad is None
+
+    def test_backward_on_leaf(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        a.backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+
+class TestErrors:
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_nonscalar_backward_needs_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+
+class TestNoGrad:
+    def test_no_grad_disables_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with no_grad():
+            a = Tensor([1.0], requires_grad=True)
+        assert not a.requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = (a * 3.0).detach()
+        assert not b.requires_grad
+        out = b * 4.0
+        assert not out.requires_grad
+
+
+class TestTensorBasics:
+    def test_dtype_coercion(self):
+        assert Tensor([1, 2]).data.dtype == np.int64 or Tensor([1, 2]).data.dtype.kind == "i"
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_item_and_len_and_repr(self):
+        a = Tensor([[1.0, 2.0]])
+        assert len(a) == 1
+        assert "Tensor" in repr(a)
+        assert Tensor(5.0).item() == 5.0
+
+    def test_shape_properties(self):
+        a = Tensor(np.zeros((2, 3)))
+        assert a.shape == (2, 3)
+        assert a.ndim == 2
+        assert a.size == 6
+        assert a.T.shape == (3, 2)
+        assert a.flatten().shape == (6,)
+
+    def test_numpy_returns_underlying(self):
+        data = np.ones(3)
+        assert Tensor(data).numpy() is not None
