@@ -1,0 +1,93 @@
+"""Throughput of the padded dense-batch execution path vs the per-graph
+loop (docs/batching.md).
+
+Measures training-step throughput (forward + backward, graphs/second)
+of a HAP graph classifier on the synthetic IMDB-B generator at batch
+sizes B ∈ {1, 8, 32}.  The loop path pays B full autograd tapes per
+step; the batched path pays one tape of 3-D ops, which is where the
+speed-up comes from.  The acceptance bar for this reproduction is a
+≥ 2x speed-up at B = 32.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import persist_rows, run_once
+from repro.core import build_hap_embedder
+from repro.data import attach_degree_features, make_imdb_b_like
+from repro.models.classifier import GraphClassifier
+
+BATCH_SIZES = (1, 8, 32)
+
+
+def _build_model(hidden: int, seed: int) -> GraphClassifier:
+    embedder = build_hap_embedder(16, hidden, [6, 2], np.random.default_rng(seed))
+    return GraphClassifier(embedder, 2, np.random.default_rng(seed + 1))
+
+
+def _loop_step(model, chunk):
+    model.zero_grad()
+    total = None
+    for g in chunk:
+        loss = model.loss(g)
+        total = loss if total is None else total + loss
+    (total * (1.0 / len(chunk))).backward()
+
+
+def _batched_step(model, chunk):
+    model.zero_grad()
+    model.batch_loss(chunk).backward()
+
+
+def _time_steps(step, model, graphs, batch_size, repeats) -> float:
+    """Seconds per full pass over ``graphs`` (best of ``repeats``)."""
+    chunks = [
+        graphs[start : start + batch_size]
+        for start in range(0, len(graphs), batch_size)
+    ]
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for chunk in chunks:
+            step(model, chunk)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_throughput(benchmark, profile):
+    rng = np.random.default_rng(0)
+    num_graphs = 64
+    graphs = [attach_degree_features(g) for g in make_imdb_b_like(num_graphs, rng)]
+    model = _build_model(profile["hidden"], seed=1)
+    model.train()
+
+    def experiment():
+        rows = {}
+        for batch_size in BATCH_SIZES:
+            # Warm-up outside the timed region.
+            _loop_step(model, graphs[:batch_size])
+            _batched_step(model, graphs[:batch_size])
+            loop_s = _time_steps(_loop_step, model, graphs, batch_size, repeats=2)
+            batched_s = _time_steps(
+                _batched_step, model, graphs, batch_size, repeats=2
+            )
+            rows[f"B={batch_size}"] = {
+                "loop_graphs_per_s": round(num_graphs / loop_s, 1),
+                "batched_graphs_per_s": round(num_graphs / batched_s, 1),
+                "speedup": round(loop_s / batched_s, 2),
+            }
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    persist_rows("batched_throughput", rows)
+    for name, row in rows.items():
+        print(name, row)
+    # The whole point of the batched path: ≥ 2x throughput at B = 32.
+    assert rows["B=32"]["speedup"] >= 2.0
+    # Larger batches must not be slower than B = 1 batching.
+    assert (
+        rows["B=32"]["batched_graphs_per_s"] >= rows["B=1"]["batched_graphs_per_s"]
+    )

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.gcont import GCont
 from repro.core.moa import MOA
 from repro.nn.module import Module
-from repro.tensor import Tensor, as_tensor, log, softmax
+from repro.tensor import Tensor, as_tensor, bmm, log, softmax, transpose
 
 #: softmax temperature of Eq. 19 ("we set τ = 0.1").
 DEFAULT_TAU = 0.1
@@ -39,19 +39,23 @@ def gumbel_soft_sample(
     Applies a row-wise tempered softmax to ``log A + g`` where ``g`` is
     Gumbel(0, 1) noise (omitted when ``rng`` is None, yielding the
     deterministic annealed softmax).  The result is symmetrised.
+
+    Accepts a single ``(N', N')`` adjacency or a batched ``(B, N', N')``
+    stack; the softmax always runs along the last (column) axis.
     """
     adjacency = as_tensor(adjacency)
-    n = adjacency.shape[0]
+    n = adjacency.shape[-1]
     if n == 1:
         # A single cluster has no edges to sample.
         return adjacency
     logits = log(adjacency + eps)
     if rng is not None:
-        uniform = rng.random((n, n))
+        uniform = rng.random(adjacency.shape)
         gumbel = -np.log(-np.log(uniform + eps) + eps)
         logits = logits + Tensor(gumbel)
-    sampled = softmax(logits * (1.0 / tau), axis=1)
-    return (sampled + sampled.T) * 0.5
+    sampled = softmax(logits * (1.0 / tau), axis=-1)
+    axes = tuple(range(adjacency.ndim - 2)) + (adjacency.ndim - 1, adjacency.ndim - 2)
+    return (sampled + transpose(sampled, axes)) * 0.5
 
 
 class GraphCoarsening(Module):
@@ -103,3 +107,40 @@ class GraphCoarsening(Module):
     def forward(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
         adj_coarse, h_coarse, _ = self.coarsen(adjacency, h)
         return adj_coarse, h_coarse
+
+    # ------------------------------------------------------------------
+    # Batched execution path (docs/batching.md)
+    # ------------------------------------------------------------------
+    def attention_batched(self, h: Tensor, mask) -> Tensor:
+        """Batched MOA assignment for padded features ``(B, N, F)``."""
+        return self.moa.forward_batched(self.gcont.forward_batched(h), mask)
+
+    def coarsen_batched(
+        self, adjacency, h: Tensor, mask
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Batched Algorithm 1 on a padded batch; returns ``(A', H', M)``.
+
+        ``M``'s padding rows are exactly zero, so Eq. 17-18 contract only
+        over each graph's real nodes and the coarsened ``(B, N', ...)``
+        outputs match the per-graph loop.  The coarsened batch has no
+        padding: every graph now owns exactly N' cluster nodes.
+        """
+        adjacency = as_tensor(adjacency)
+        h = as_tensor(h)
+        assignment = self.attention_batched(h, mask)  # (B, N, N')
+        assignment_t = transpose(assignment, (0, 2, 1))
+        h_coarse = bmm(assignment_t, h)  # Eq. 17
+        adj_coarse = bmm(bmm(assignment_t, adjacency), assignment)  # Eq. 18
+        if self.soft_sampling:
+            noise_rng = self.rng if self.training else None
+            adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
+        return adj_coarse, h_coarse, assignment
+
+    def forward_batched(
+        self, adjacency, h: Tensor, mask
+    ) -> tuple[Tensor, Tensor, np.ndarray]:
+        """Batched forward; returns ``(A', H', mask')`` where the new
+        mask is all-ones — coarsened graphs are dense in the batch."""
+        adj_coarse, h_coarse, _ = self.coarsen_batched(adjacency, h, mask)
+        new_mask = np.ones(h_coarse.shape[:2])
+        return adj_coarse, h_coarse, new_mask

@@ -41,3 +41,16 @@ class GCont(Module):
                 f"got {h.shape[1]}"
             )
         return h @ self.transform
+
+    def forward_batched(self, h: Tensor) -> Tensor:
+        """Batched content: (B, N, F) -> (B, N, N').
+
+        Padding rows pass through unmasked (T is applied row-wise); MOA's
+        batched path masks them before any cross-node reduction.
+        """
+        h = as_tensor(h)
+        if h.ndim != 3 or h.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected (B, N, {self.in_features}) features, got {h.shape}"
+            )
+        return h @ self.transform

@@ -17,7 +17,7 @@ from repro.core.coarsen import GraphCoarsening
 from repro.gnn.encoder import GNNEncoder
 from repro.nn.module import Module
 from repro.pooling.base import Coarsening
-from repro.tensor import Tensor, as_tensor
+from repro.tensor import Tensor, as_tensor, masked_mean
 
 
 class HAPPooling(Coarsening):
@@ -30,6 +30,10 @@ class HAPPooling(Coarsening):
     def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
         adj_coarse, h_coarse, _ = self.coarsening.coarsen(adjacency, h)
         return adj_coarse, h_coarse
+
+    def coarsen_batched(self, adjacency, h: Tensor, mask):
+        """Batched coarsening; returns ``(A', H', mask')``."""
+        return self.coarsening.forward_batched(adjacency, h, mask)
 
 
 class HierarchicalEmbedder(Module):
@@ -77,6 +81,36 @@ class HierarchicalEmbedder(Module):
     def forward(self, adjacency, h: Tensor) -> Tensor:
         """Final graph-level embedding h_G."""
         return self.embed_levels(adjacency, h)[-1]
+
+    # ------------------------------------------------------------------
+    # Batched execution path (docs/batching.md)
+    # ------------------------------------------------------------------
+    def embed_levels_batched(self, adjacency, h: Tensor, mask) -> list[Tensor]:
+        """Per-level ``(B, F)`` readouts for a padded batch.
+
+        Each level readout is the masked mean over that level's valid
+        nodes, matching the per-graph ``h.mean(axis=0)`` exactly.  Only
+        coarsening operators exposing ``coarsen_batched`` (HAP's) are
+        supported; the Table-5 baseline poolings stay loop-only.
+        """
+        adjacency = as_tensor(adjacency)
+        h = as_tensor(h)
+        mask = np.asarray(mask, dtype=np.float64)
+        levels: list[Tensor] = []
+        for encoder, coarsening in zip(self.encoders, self.coarsenings):
+            if not hasattr(coarsening, "coarsen_batched"):
+                raise NotImplementedError(
+                    f"{type(coarsening).__name__} has no batched path; "
+                    "run it through the per-graph loop instead"
+                )
+            h = encoder.forward_batched(adjacency, h, mask)
+            adjacency, h, mask = coarsening.coarsen_batched(adjacency, h, mask)
+            levels.append(masked_mean(h, mask[:, :, None], axis=1))
+        return levels
+
+    def forward_batched(self, adjacency, h: Tensor, mask) -> Tensor:
+        """Final graph-level embeddings ``(B, F)`` for a padded batch."""
+        return self.embed_levels_batched(adjacency, h, mask)[-1]
 
     def auxiliary_loss(self) -> Tensor | None:
         """Sum of the coarsening operators' auxiliary losses, if any."""

@@ -28,7 +28,17 @@ import numpy as np
 
 from repro.nn.init import glorot_uniform
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor, as_tensor, concat, leaky_relu, pad2d, softmax
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    bmm,
+    concat,
+    leaky_relu,
+    masked_softmax,
+    pad2d,
+    softmax,
+    transpose,
+)
 
 
 class MOA(Module):
@@ -104,14 +114,84 @@ class MOA(Module):
     def forward(self, content: Tensor) -> Tensor:
         """Row-softmax-normalised attention assignment (Eq. 15).
 
-        With multiple heads, the per-head assignments are averaged.
+        All heads are scored in one vectorised pass: the per-head logits
+        are stacked into an ``(N, N', H)`` block, row-softmaxed along the
+        cluster axis with a single call, and averaged over the head axis
+        (a convex combination of row-stochastic matrices, so Eq. 15's
+        normalisation is preserved).
         """
-        assignment = softmax(self.logits(content, head=0), axis=1)
-        for head in range(1, self.num_heads):
-            assignment = assignment + softmax(self.logits(content, head), axis=1)
-        if self.num_heads > 1:
-            assignment = assignment * (1.0 / self.num_heads)
-        return assignment
+        content = as_tensor(content)
+        n, n_prime = content.shape
+        if n_prime != self.num_clusters:
+            raise ValueError(
+                f"content has {n_prime} clusters, MOA expects {self.num_clusters}"
+            )
+        relaxed = self._relaxed_columns(content)  # (N', N')
+        row_scores = content @ self.att_row.T  # (N, H)
+        col_scores = relaxed @ self.att_col.T  # (N', H)
+        scores = leaky_relu(
+            row_scores.reshape(n, 1, self.num_heads)
+            + col_scores.reshape(1, n_prime, self.num_heads),
+            self.negative_slope,
+        )
+        return softmax(scores, axis=1).mean(axis=2)
+
+    # ------------------------------------------------------------------
+    # Batched execution path (docs/batching.md)
+    # ------------------------------------------------------------------
+    def _relaxed_columns_batched(self, masked_content: Tensor, counts) -> Tensor:
+        """Batched ψ on zero-masked content: (B, N, N') -> (B, N', N').
+
+        ``counts`` holds each graph's true node count so the 'project'
+        relaxation divides by N (not the padded length).  For 'pad', the
+        masked rows are already zero, so slicing the first N' rows
+        reproduces both the zero-pad (N < N') and truncate (N >= N')
+        branches of the per-graph path.
+        """
+        batch, n, n_prime = masked_content.shape
+        if self.relaxation == "project":
+            inv = 1.0 / np.maximum(np.asarray(counts, dtype=np.float64), 1.0)
+            gram = bmm(transpose(masked_content, (0, 2, 1)), masked_content)
+            return gram * Tensor(inv[:, None, None])
+        if n < n_prime:
+            zeros = Tensor(np.zeros((batch, n_prime - n, n_prime)))
+            masked_content = concat([masked_content, zeros], axis=1)
+        return transpose(masked_content[:, :n_prime, :], (0, 2, 1))
+
+    def forward_batched(self, content: Tensor, mask) -> Tensor:
+        """Batched assignment for ``(B, N, N')`` content with a
+        ``(B, N)`` validity mask.
+
+        Valid rows equal the per-graph :meth:`forward` exactly; padding
+        rows receive *exactly* zero attention mass (the masked softmax
+        zeroes them rather than approximating with large negatives), so
+        they contribute nothing to the pooled content downstream.
+        """
+        content = as_tensor(content)
+        if content.ndim != 3:
+            raise ValueError(f"expected (B, N, N') content, got shape {content.shape}")
+        batch, n, n_prime = content.shape
+        if n_prime != self.num_clusters:
+            raise ValueError(
+                f"content has {n_prime} clusters, MOA expects {self.num_clusters}"
+            )
+        mask_arr = np.asarray(mask, dtype=np.float64)
+        if mask_arr.shape != (batch, n):
+            raise ValueError(
+                f"mask shape {mask_arr.shape} does not match batch ({batch}, {n})"
+            )
+        masked_content = content * Tensor(mask_arr[:, :, None])
+        counts = mask_arr.sum(axis=1)
+        relaxed = self._relaxed_columns_batched(masked_content, counts)
+        row_scores = content @ self.att_row.T  # (B, N, H)
+        col_scores = relaxed @ self.att_col.T  # (B, N', H)
+        scores = leaky_relu(
+            row_scores.reshape(batch, n, 1, self.num_heads)
+            + col_scores.reshape(batch, 1, n_prime, self.num_heads),
+            self.negative_slope,
+        )
+        probs = masked_softmax(scores, mask_arr[:, :, None, None], axis=2)
+        return probs.mean(axis=3)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -20,6 +20,7 @@ from repro.data.datasets import (
     make_ptc_like,
 )
 from repro.data.attributed import ATTRIBUTE_DIM, make_attributed_like
+from repro.data.batching import PaddedBatch, iter_padded_batches, pad_graphs
 from repro.data.io import load_graphs, save_graphs
 from repro.data.matching import MatchingPair, make_matching_dataset
 from repro.data.perturb import add_edges, drop_edges, drop_nodes, noise_features
@@ -41,6 +42,9 @@ __all__ = [
     "make_proteins_like",
     "make_ptc_like",
     "ATTRIBUTE_DIM",
+    "PaddedBatch",
+    "iter_padded_batches",
+    "pad_graphs",
     "load_graphs",
     "save_graphs",
     "make_attributed_like",

@@ -1,0 +1,130 @@
+"""Padded dense batching of graph lists.
+
+The batched execution path (docs/batching.md) runs B graphs through the
+HAP pipeline in one set of 3-D tensor ops instead of a Python loop.  To
+do that, ragged graphs are padded to a common node count ``N_max``:
+
+- ``features``  ``(B, N_max, F)``  — zero rows beyond each graph's size;
+- ``adjacency`` ``(B, N_max, N_max)`` — zero rows/columns for padding;
+- ``mask``      ``(B, N_max)``     — 1.0 on real nodes, 0.0 on padding.
+
+The convention every batched op relies on: *padding rows of the
+adjacency are all-zero* (no edges touch a padding node) and *every
+reduction over the node axis is masked*.  Together these guarantee the
+valid rows of every batched intermediate equal the per-graph loop's
+values exactly (up to float round-off), which the equivalence suite
+``tests/test_batched_equivalence.py`` locks down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class PaddedBatch:
+    """A batch of graphs padded to a common node count.
+
+    Parameters
+    ----------
+    features:
+        ``(B, N_max, F)`` float array; rows ≥ ``num_nodes[b]`` are zero.
+    adjacency:
+        ``(B, N_max, N_max)`` float array; padding rows/columns are zero.
+    mask:
+        ``(B, N_max)`` float array, 1.0 for real nodes and 0.0 otherwise.
+    num_nodes:
+        ``(B,)`` int array of true node counts.
+    labels:
+        ``(B,)`` int array of graph labels, or ``None`` when any graph
+        in the batch is unlabelled.
+    """
+
+    features: np.ndarray
+    adjacency: np.ndarray
+    mask: np.ndarray
+    num_nodes: np.ndarray
+    labels: np.ndarray | None = None
+
+    @property
+    def batch_size(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def max_nodes(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[2]
+
+
+def pad_graphs(graphs: Sequence[Graph], pad_to: int | None = None) -> PaddedBatch:
+    """Pad ``graphs`` into a :class:`PaddedBatch`.
+
+    Every graph must carry node features of the same dimensionality
+    (attach an encoding from :mod:`repro.data.encoding` first).
+
+    Parameters
+    ----------
+    pad_to:
+        Pad to this node count instead of the batch maximum (must be at
+        least the largest graph).  Useful for fixed-shape serving and for
+        the padding-invariance property tests.
+    """
+    if not graphs:
+        raise ValueError("cannot pad an empty list of graphs")
+    for i, g in enumerate(graphs):
+        if g.features is None:
+            raise ValueError(
+                f"graph {i} has no node features; attach an encoding from "
+                "repro.data.encoding first"
+            )
+    dims = {g.features.shape[1] for g in graphs}
+    if len(dims) != 1:
+        raise ValueError(f"inconsistent feature dimensions in batch: {sorted(dims)}")
+    feat_dim = dims.pop()
+    sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+    n_max = int(sizes.max())
+    if pad_to is not None:
+        if pad_to < n_max:
+            raise ValueError(
+                f"pad_to={pad_to} is smaller than the largest graph ({n_max})"
+            )
+        n_max = int(pad_to)
+
+    batch = len(graphs)
+    features = np.zeros((batch, n_max, feat_dim), dtype=np.float64)
+    adjacency = np.zeros((batch, n_max, n_max), dtype=np.float64)
+    mask = np.zeros((batch, n_max), dtype=np.float64)
+    for b, g in enumerate(graphs):
+        n = g.num_nodes
+        features[b, :n] = g.features
+        adjacency[b, :n, :n] = g.adjacency
+        mask[b, :n] = 1.0
+
+    labels = None
+    if all(g.label is not None for g in graphs):
+        labels = np.array([int(g.label) for g in graphs], dtype=np.int64)
+    return PaddedBatch(
+        features=features,
+        adjacency=adjacency,
+        mask=mask,
+        num_nodes=sizes,
+        labels=labels,
+    )
+
+
+def iter_padded_batches(
+    graphs: Sequence[Graph], batch_size: int, pad_to: int | None = None
+):
+    """Yield :class:`PaddedBatch` chunks of ``batch_size`` graphs in order."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(graphs), batch_size):
+        yield pad_graphs(graphs[start : start + batch_size], pad_to=pad_to)

@@ -63,6 +63,12 @@ class GNNEncoder(Module):
             h = layer(adjacency, h)
         return h
 
+    def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Run the stack on a padded batch (see docs/batching.md)."""
+        for layer in self.layers:
+            h = layer.forward_batched(adjacency, h, mask)
+        return h
+
     def layer_outputs(self, adjacency, h: Tensor) -> list[Tensor]:
         """Node representations after every layer (GCN-concat readout)."""
         outputs = []

@@ -55,6 +55,12 @@ class GINLayer(Module):
         hidden = _activate(combined @ self.w1 + self.b1, self.activation)
         return _activate(hidden @ self.w2 + self.b2, self.activation)
 
+    def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Batched GIN: every op broadcasts over the leading batch axis,
+        and padding rows aggregate nothing (their adjacency rows are
+        zero), so the 2-D formula applies unchanged."""
+        return self.forward(adjacency, h)
+
 
 class SAGELayer(Module):
     """GraphSAGE layer with mean aggregation."""
@@ -80,4 +86,14 @@ class SAGELayer(Module):
         degree = adj.sum(axis=1) + 1e-8
         neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(n, 1)
         combined = concat([h, neighbour_mean], axis=1)
+        return _activate(combined @ self.weight + self.bias, self.activation)
+
+    def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Batched GraphSAGE on ``(B, N, N)`` / ``(B, N, F)`` inputs."""
+        h = as_tensor(h)
+        adj = as_tensor(adjacency)
+        batch, n = h.shape[0], h.shape[1]
+        degree = adj.sum(axis=-1) + 1e-8  # (B, N)
+        neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(batch, n, 1)
+        combined = concat([h, neighbour_mean], axis=-1)
         return _activate(combined @ self.weight + self.bias, self.activation)

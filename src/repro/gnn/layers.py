@@ -33,6 +33,27 @@ def normalize_adjacency(adjacency, eps: float = 1e-8) -> Tensor:
     return adj_tilde * inv_sqrt.reshape(n, 1) * inv_sqrt.reshape(1, n)
 
 
+def normalize_adjacency_batched(adjacency, eps: float = 1e-8) -> Tensor:
+    """Batched symmetric normalisation of a ``(B, N, N)`` adjacency stack.
+
+    Self-loops are added to *every* row, padding included, so padding
+    nodes have degree 1 instead of dividing by zero.  Because padding
+    rows/columns of the input adjacency are all-zero (the
+    :mod:`repro.data.batching` convention), the valid block of each
+    graph's normalised matrix equals the per-graph
+    :func:`normalize_adjacency` exactly; padding rows only talk to
+    themselves and are discarded by the masked readouts downstream.
+    """
+    adj = _adjacency_tensor(adjacency)
+    if adj.ndim != 3:
+        raise ValueError(f"expected (B, N, N) adjacency, got shape {adj.shape}")
+    batch, n, _ = adj.shape
+    adj_tilde = adj + Tensor(np.eye(n))
+    degree = adj_tilde.sum(axis=-1)  # (B, N)
+    inv_sqrt = power(degree + eps, -0.5)
+    return adj_tilde * inv_sqrt.reshape(batch, n, 1) * inv_sqrt.reshape(batch, 1, n)
+
+
 def _activate(out, activation: str):
     """Apply a named activation (shared by GCN and GAT layers).
 
@@ -75,6 +96,16 @@ class GCNLayer(Module):
     def forward(self, adjacency, h: Tensor) -> Tensor:
         h = as_tensor(h)
         normalized = normalize_adjacency(adjacency)
+        out = normalized @ (h @ self.weight) + self.bias
+        return _activate(out, self.activation)
+
+    def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Batched forward on ``(B, N, N)`` adjacency and ``(B, N, F)``
+        features.  Padding rows produce ``act(bias)`` garbage that never
+        reaches valid rows (their normalised adjacency entries are zero);
+        downstream masked reductions discard it."""
+        h = as_tensor(h)
+        normalized = normalize_adjacency_batched(adjacency)
         out = normalized @ (h @ self.weight) + self.bias
         return _activate(out, self.activation)
 
@@ -130,5 +161,34 @@ class GATLayer(Module):
         if isinstance(adjacency, Tensor) and adjacency.requires_grad:
             weighted = attention * (adjacency + Tensor(np.eye(n)))
             attention = weighted * power(weighted.sum(axis=1) + 1e-8, -1.0).reshape(n, 1)
+        out = attention @ transformed + self.bias
+        return _activate(out, self.activation)
+
+    def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Batched GAT on ``(B, N, N)`` adjacency and ``(B, N, F)`` features.
+
+        The neighbourhood mask keeps the per-graph semantics: padding
+        columns carry zero adjacency, so their ``-1e9`` logits underflow
+        to exactly zero attention and valid rows match the loop path.
+        Padding rows attend only to their own self-loop.
+        """
+        h = as_tensor(h)
+        batch, n = h.shape[0], h.shape[1]
+        transformed = h @ self.weight  # (B, N, F')
+        score_src = transformed @ self.att_src  # (B, N)
+        score_dst = transformed @ self.att_dst  # (B, N)
+        logits = leaky_relu(
+            score_src.reshape(batch, n, 1) + score_dst.reshape(batch, 1, n),
+            self.negative_slope,
+        )
+        adj_data = adjacency.data if isinstance(adjacency, Tensor) else adjacency
+        neighbours = (np.asarray(adj_data) != 0) | np.eye(n, dtype=bool)[None, :, :]
+        masked = where(neighbours, logits, Tensor(np.full((batch, n, n), -1e9)))
+        attention = softmax(masked, axis=-1)
+        if isinstance(adjacency, Tensor) and adjacency.requires_grad:
+            weighted = attention * (adjacency + Tensor(np.eye(n)))
+            attention = weighted * power(
+                weighted.sum(axis=-1) + 1e-8, -1.0
+            ).reshape(batch, n, 1)
         out = attention @ transformed + self.bias
         return _activate(out, self.activation)

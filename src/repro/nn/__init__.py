@@ -13,6 +13,7 @@ from repro.nn.serialization import save_module, load_module
 from repro.nn.losses import (
     binary_cross_entropy,
     cross_entropy,
+    cross_entropy_batched,
     mse_loss,
     nll_loss,
     pairwise_matching_loss,
@@ -39,6 +40,7 @@ __all__ = [
     "load_module",
     "binary_cross_entropy",
     "cross_entropy",
+    "cross_entropy_batched",
     "mse_loss",
     "nll_loss",
     "pairwise_matching_loss",

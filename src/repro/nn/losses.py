@@ -20,6 +20,23 @@ def cross_entropy(logits: Tensor, label: int) -> Tensor:
     return -log_probs[int(label)]
 
 
+def cross_entropy_batched(logits: Tensor, labels) -> Tensor:
+    """Mean cross-entropy over a batch: ``logits`` (B, C), ``labels`` (B,).
+
+    Equals the mean of :func:`cross_entropy` over the batch — the
+    invariant the loop-vs-batched equivalence suite relies on.
+    """
+    labels = np.asarray(labels, dtype=np.intp)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"expected (B, C) logits and (B,) labels, got {logits.shape} "
+            f"and {labels.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[(np.arange(labels.size), labels)]
+    return -picked.mean()
+
+
 def nll_loss(log_probs: Tensor, label: int) -> Tensor:
     """Negative log-likelihood for already-log-softmaxed scores."""
     return -log_probs[int(label)]

@@ -17,7 +17,9 @@ Functional ops
     ``matmul, add, mul, concat, stack, softmax, log_softmax, relu,
     leaky_relu, sigmoid, tanh, exp, log, sqrt, power, maximum, where,
     sum, mean, max, reshape, transpose, pad, dropout_mask`` and friends,
-    re-exported from :mod:`repro.tensor.ops`.
+    re-exported from :mod:`repro.tensor.ops`.  Batched 3-D primitives
+    (``bmm, masked_softmax, masked_sum, masked_mean``) back the padded
+    dense-batch execution path (docs/batching.md).
 ``numeric_gradient``
     Finite-difference helper used by the test-suite's gradient checks.
 """
@@ -26,7 +28,11 @@ from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
 from repro.tensor.ops import (
     absolute,
     add,
+    bmm,
     clip,
+    masked_mean,
+    masked_softmax,
+    masked_sum,
     min_along,
     norm,
     concat,
@@ -63,7 +69,11 @@ __all__ = [
     "as_tensor",
     "absolute",
     "add",
+    "bmm",
     "clip",
+    "masked_mean",
+    "masked_softmax",
+    "masked_sum",
     "min_along",
     "norm",
     "concat",

@@ -31,6 +31,10 @@ class TrainConfig:
     lr_step: int = 10
     #: clip the global gradient norm (None disables)
     grad_clip: float | None = None
+    #: build one padded dense batch per step (docs/batching.md) instead of
+    #: looping per-example losses; requires the model (or an explicit
+    #: ``batch_loss_fn``) to expose a vectorised batch loss
+    batched: bool = False
 
 
 def clip_gradients(parameters, max_norm: float) -> float:
@@ -67,6 +71,7 @@ def fit(
     config: TrainConfig | None = None,
     loss_fn: Callable | None = None,
     val_metric: Callable[[], float] | None = None,
+    batch_loss_fn: Callable | None = None,
 ) -> TrainHistory:
     """Train ``model`` on ``examples``.
 
@@ -78,6 +83,13 @@ def fit(
     val_metric:
         Zero-argument callable evaluated after each epoch (higher is
         better); enables early stopping and best-weight restoration.
+    batch_loss_fn:
+        ``batch_loss_fn(model, examples_chunk) -> Tensor`` returning the
+        *mean* loss of a whole mini-batch; used when
+        ``config.batched=True`` and defaults to ``model.batch_loss``.
+        The batched step optimises the same objective as the per-example
+        loop (see tests/test_batched_equivalence.py) with one padded
+        forward/backward per mini-batch instead of ``batch_size``.
     """
     config = config or TrainConfig()
     if loss_fn is None:
@@ -96,11 +108,18 @@ def fit(
         for start in range(0, len(order), config.batch_size):
             batch = order[start : start + config.batch_size]
             optimizer.zero_grad()
-            total = None
-            for idx in batch:
-                loss = loss_fn(model, examples[idx])
-                total = loss if total is None else total + loss
-            total = total * (1.0 / len(batch))
+            if config.batched:
+                chunk = [examples[idx] for idx in batch]
+                if batch_loss_fn is not None:
+                    total = batch_loss_fn(model, chunk)
+                else:
+                    total = model.batch_loss(chunk)
+            else:
+                total = None
+                for idx in batch:
+                    loss = loss_fn(model, examples[idx])
+                    total = loss if total is None else total + loss
+                total = total * (1.0 / len(batch))
             if not np.isfinite(total.data):
                 raise FloatingPointError(
                     f"non-finite loss at epoch {epoch} "

@@ -1,0 +1,33 @@
+"""The ``tools/check_equivalence.py`` CI gate, run as part of the
+default pytest suite via the ``equivalence`` marker.
+
+Select just this gate with ``pytest -m equivalence``; it fails whenever
+the loop and padded-batch execution paths diverge beyond 1e-6 on any of
+the three downstream tasks.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_equivalence  # noqa: E402
+
+
+@pytest.mark.equivalence
+def test_cli_reports_all_tasks_equivalent(capsys):
+    assert check_equivalence.main([]) == 0
+    out = capsys.readouterr().out
+    for task in ("classification", "matching", "similarity"):
+        assert task in out
+    assert "DIVERGED" not in out
+
+
+@pytest.mark.equivalence
+def test_cli_exits_nonzero_when_tolerance_exceeded():
+    # An impossible tolerance forces every finite deviation to "diverge",
+    # proving the gate actually trips (exit code 1) rather than always
+    # reporting success.
+    assert check_equivalence.main(["--tol", "0"]) == 1
