@@ -33,6 +33,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=25)
     parser.add_argument("--hidden", type=int, default=16)
     parser.add_argument("--lr", type=float, default=0.01)
+    parser.add_argument(
+        "--verbose", action="store_true", help="print one line per training epoch"
+    )
+    parser.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL run log (docs/observability.md)",
+    )
+
+
+def _callbacks(args):
+    """Build the trainer callback list from the common CLI flags."""
+    from repro.observe import ConsoleLogger, JSONLLogger
+
+    callbacks = []
+    if getattr(args, "verbose", False):
+        callbacks.append(ConsoleLogger())
+    if getattr(args, "log_json", None):
+        callbacks.append(JSONLLogger(args.log_json))
+    return callbacks or None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             epochs=args.epochs,
             hidden=args.hidden,
             lr=args.lr,
+            callbacks=_callbacks(args),
         )
         print(f"{args.method} on {args.dataset}: test accuracy {result.accuracy:.2%}")
         if args.save:
@@ -119,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
             epochs=args.epochs,
             hidden=args.hidden,
             lr=args.lr,
+            callbacks=_callbacks(args),
         )
         print(
             f"{args.method} matching at |V|={args.nodes}: "
@@ -136,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             epochs=args.epochs,
             hidden=args.hidden,
             lr=args.lr,
+            callbacks=_callbacks(args),
         )
         print(
             f"{args.method} similarity on {args.dataset}: "

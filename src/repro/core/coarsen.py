@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.core.gcont import GCont
 from repro.core.moa import MOA
-from repro.nn.module import Module
+from repro.nn.module import Module, warn_deprecated
+from repro.observe.tracing import span
 from repro.tensor import Tensor, as_tensor, bmm, log, softmax, transpose
 
 #: softmax temperature of Eq. 19 ("we set τ = 0.1").
@@ -82,40 +83,56 @@ class GraphCoarsening(Module):
             num_clusters, rng, relaxation=relaxation, num_heads=num_heads
         )
 
-    def attention(self, h: Tensor) -> Tensor:
-        """The normalised MOA assignment M for node features ``h``."""
-        return self.moa(self.gcont(h))
+    def attention(self, h: Tensor, mask=None) -> Tensor:
+        """The normalised MOA assignment M for node features ``h``.
+
+        Dispatches on rank: ``(N, F)`` single graph, ``(B, N, F)``
+        padded batch (``mask`` defaults to all-valid).
+        """
+        return self.moa(self.gcont(h), mask)
 
     def coarsen(
-        self, adjacency, h: Tensor
+        self, adjacency, h: Tensor, mask=None
     ) -> tuple[Tensor, Tensor, Tensor]:
         """Coarsen ``(A, H)`` to ``(A', H')``; also returns M.
 
         Follows Algorithm 1 line by line; the returned adjacency has
         been soft-sampled (Eq. 19) unless ``soft_sampling=False``.
+        Dispatches on rank — padded ``(B, N, ·)`` inputs run
+        :meth:`_coarsen_padded`.
         """
         adjacency = as_tensor(adjacency)
         h = as_tensor(h)
-        assignment = self.attention(h)  # (N, N')
-        h_coarse = assignment.T @ h  # Eq. 17
-        adj_coarse = assignment.T @ adjacency @ assignment  # Eq. 18
-        if self.soft_sampling:
-            noise_rng = self.rng if self.training else None
-            adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
-        return adj_coarse, h_coarse, assignment
+        with span("coarsen"):
+            if h.ndim == 3:
+                return self._coarsen_padded(adjacency, h, mask)
+            assignment = self.attention(h)  # (N, N')
+            h_coarse = assignment.T @ h  # Eq. 17
+            adj_coarse = assignment.T @ adjacency @ assignment  # Eq. 18
+            if self.soft_sampling:
+                noise_rng = self.rng if self.training else None
+                adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
+            return adj_coarse, h_coarse, assignment
 
-    def forward(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
+    def forward(self, adjacency, h: Tensor, mask=None):
+        """Coarsen one level.
+
+        Single graph: ``(A, H) -> (A', H')``.  Padded batch:
+        ``(A, H, mask) -> (A', H', mask')`` where the new mask is
+        all-ones — coarsened graphs are dense in the batch.
+        """
+        h = as_tensor(h)
+        if h.ndim == 3:
+            adj_coarse, h_coarse, _ = self.coarsen(adjacency, h, mask)
+            new_mask = np.ones(h_coarse.shape[:2])
+            return adj_coarse, h_coarse, new_mask
         adj_coarse, h_coarse, _ = self.coarsen(adjacency, h)
         return adj_coarse, h_coarse
 
     # ------------------------------------------------------------------
-    # Batched execution path (docs/batching.md)
+    # Padded execution path (docs/batching.md)
     # ------------------------------------------------------------------
-    def attention_batched(self, h: Tensor, mask) -> Tensor:
-        """Batched MOA assignment for padded features ``(B, N, F)``."""
-        return self.moa.forward_batched(self.gcont.forward_batched(h), mask)
-
-    def coarsen_batched(
+    def _coarsen_padded(
         self, adjacency, h: Tensor, mask
     ) -> tuple[Tensor, Tensor, Tensor]:
         """Batched Algorithm 1 on a padded batch; returns ``(A', H', M)``.
@@ -125,9 +142,9 @@ class GraphCoarsening(Module):
         outputs match the per-graph loop.  The coarsened batch has no
         padding: every graph now owns exactly N' cluster nodes.
         """
-        adjacency = as_tensor(adjacency)
-        h = as_tensor(h)
-        assignment = self.attention_batched(h, mask)  # (B, N, N')
+        if mask is None:
+            mask = np.ones(h.shape[:2], dtype=np.float64)
+        assignment = self.attention(h, mask)  # (B, N, N')
         assignment_t = transpose(assignment, (0, 2, 1))
         h_coarse = bmm(assignment_t, h)  # Eq. 17
         adj_coarse = bmm(bmm(assignment_t, adjacency), assignment)  # Eq. 18
@@ -136,11 +153,21 @@ class GraphCoarsening(Module):
             adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
         return adj_coarse, h_coarse, assignment
 
+    def attention_batched(self, h: Tensor, mask) -> Tensor:
+        """Deprecated alias — ``attention`` now dispatches on rank."""
+        warn_deprecated("GraphCoarsening.attention_batched", "GraphCoarsening.attention")
+        return self.attention(h, mask)
+
+    def coarsen_batched(
+        self, adjacency, h: Tensor, mask
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Deprecated alias — ``coarsen`` now dispatches on rank."""
+        warn_deprecated("GraphCoarsening.coarsen_batched", "GraphCoarsening.coarsen")
+        return self.coarsen(adjacency, h, mask)
+
     def forward_batched(
         self, adjacency, h: Tensor, mask
     ) -> tuple[Tensor, Tensor, np.ndarray]:
-        """Batched forward; returns ``(A', H', mask')`` where the new
-        mask is all-ones — coarsened graphs are dense in the batch."""
-        adj_coarse, h_coarse, _ = self.coarsen_batched(adjacency, h, mask)
-        new_mask = np.ones(h_coarse.shape[:2])
-        return adj_coarse, h_coarse, new_mask
+        """Deprecated alias — ``forward`` now dispatches on rank."""
+        warn_deprecated("GraphCoarsening.forward_batched", "GraphCoarsening.__call__")
+        return self.forward(adjacency, h, mask)

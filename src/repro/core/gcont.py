@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.init import glorot_uniform
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, warn_deprecated
 from repro.tensor import Tensor, as_tensor
 
 
@@ -33,24 +33,22 @@ class GCont(Module):
         )
 
     def forward(self, h: Tensor) -> Tensor:
-        """Content matrix C of shape (N, N')."""
+        """Content matrix: ``(N, F) -> (N, N')`` or, batched,
+        ``(B, N, F) -> (B, N, N')``.
+
+        T is applied row-wise, so padded batches pass through unmasked;
+        MOA's padded path masks padding rows before any cross-node
+        reduction.
+        """
         h = as_tensor(h)
-        if h.shape[1] != self.in_features:
+        if h.ndim not in (2, 3) or h.shape[-1] != self.in_features:
             raise ValueError(
                 f"feature dimension mismatch: GCont expects {self.in_features}, "
-                f"got {h.shape[1]}"
+                f"got shape {h.shape}"
             )
         return h @ self.transform
 
     def forward_batched(self, h: Tensor) -> Tensor:
-        """Batched content: (B, N, F) -> (B, N, N').
-
-        Padding rows pass through unmasked (T is applied row-wise); MOA's
-        batched path masks them before any cross-node reduction.
-        """
-        h = as_tensor(h)
-        if h.ndim != 3 or h.shape[-1] != self.in_features:
-            raise ValueError(
-                f"expected (B, N, {self.in_features}) features, got {h.shape}"
-            )
-        return h @ self.transform
+        """Deprecated alias — ``forward`` now handles both ranks."""
+        warn_deprecated("GCont.forward_batched", "GCont.__call__")
+        return self.forward(h)

@@ -14,14 +14,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.coarsen import GraphCoarsening
+from repro.data.batching import PaddedBatch
 from repro.gnn.encoder import GNNEncoder
-from repro.nn.module import Module
+from repro.nn.module import Module, warn_deprecated
 from repro.pooling.base import Coarsening
 from repro.tensor import Tensor, as_tensor, masked_mean
 
 
 class HAPPooling(Coarsening):
     """Adapter exposing :class:`GraphCoarsening` as a Coarsening op."""
+
+    supports_padded = True
 
     def __init__(self, coarsening: GraphCoarsening):
         super().__init__()
@@ -31,9 +34,14 @@ class HAPPooling(Coarsening):
         adj_coarse, h_coarse, _ = self.coarsening.coarsen(adjacency, h)
         return adj_coarse, h_coarse
 
+    def coarsen_padded(self, adjacency, h: Tensor, mask):
+        """Padded-batch coarsening; returns ``(A', H', mask')``."""
+        return self.coarsening(adjacency, h, mask)
+
     def coarsen_batched(self, adjacency, h: Tensor, mask):
-        """Batched coarsening; returns ``(A', H', mask')``."""
-        return self.coarsening.forward_batched(adjacency, h, mask)
+        """Deprecated alias — call the operator with 3-D input instead."""
+        warn_deprecated("HAPPooling.coarsen_batched", "HAPPooling.__call__")
+        return self.coarsen_padded(adjacency, h, mask)
 
 
 class HierarchicalEmbedder(Module):
@@ -63,54 +71,65 @@ class HierarchicalEmbedder(Module):
             setattr(self, f"coarsening{i}", coarse)
         self.out_features = encoders[-1].out_features
 
-    def embed_levels(self, adjacency, h: Tensor) -> list[Tensor]:
+    def embed_levels(self, adjacency, h: Tensor | None = None, mask=None) -> list[Tensor]:
         """Graph-level representation after every coarsening level.
 
-        Each level representation is the mean over that level's cluster
-        nodes (a single row when the level coarsens to one cluster).
+        Dispatches on input type:
+
+        - single graph — 2-D ``(N, N)`` adjacency and ``(N, F)``
+          features; each level representation is the mean over that
+          level's cluster nodes;
+        - padded batch — either a :class:`~repro.data.batching.PaddedBatch`
+          as the sole positional argument or explicit 3-D
+          ``(B, N, N)`` / ``(B, N, F)`` arrays plus a ``(B, N)`` mask;
+          each level readout is the masked mean over valid nodes,
+          matching the per-graph path exactly.  Only coarsening
+          operators with ``supports_padded`` (HAP's) run here; the
+          Table-5 baseline poolings stay loop-only.
         """
+        if isinstance(adjacency, PaddedBatch):
+            batch = adjacency
+            adjacency, h, mask = batch.adjacency, Tensor(batch.features), batch.mask
         adjacency = as_tensor(adjacency)
         h = as_tensor(h)
         levels: list[Tensor] = []
+        if h.ndim == 3:
+            if mask is None:
+                mask = np.ones(h.shape[:2], dtype=np.float64)
+            mask = np.asarray(mask, dtype=np.float64)
+            for encoder, coarsening in zip(self.encoders, self.coarsenings):
+                h = encoder(adjacency, h, mask)
+                adjacency, h, mask = coarsening(adjacency, h, mask)
+                levels.append(masked_mean(h, mask[:, :, None], axis=1))
+            return levels
         for encoder, coarsening in zip(self.encoders, self.coarsenings):
             h = encoder(adjacency, h)
             adjacency, h = coarsening(adjacency, h)
             levels.append(h.mean(axis=0))
         return levels
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
-        """Final graph-level embedding h_G."""
-        return self.embed_levels(adjacency, h)[-1]
+    def forward(self, adjacency, h: Tensor | None = None, mask=None) -> Tensor:
+        """Final graph-level embedding: ``(F,)`` for a single graph,
+        ``(B, F)`` for a padded batch."""
+        return self.embed_levels(adjacency, h, mask)[-1]
 
     # ------------------------------------------------------------------
-    # Batched execution path (docs/batching.md)
+    # Deprecated batched aliases (docs/batching.md)
     # ------------------------------------------------------------------
     def embed_levels_batched(self, adjacency, h: Tensor, mask) -> list[Tensor]:
-        """Per-level ``(B, F)`` readouts for a padded batch.
-
-        Each level readout is the masked mean over that level's valid
-        nodes, matching the per-graph ``h.mean(axis=0)`` exactly.  Only
-        coarsening operators exposing ``coarsen_batched`` (HAP's) are
-        supported; the Table-5 baseline poolings stay loop-only.
-        """
-        adjacency = as_tensor(adjacency)
-        h = as_tensor(h)
-        mask = np.asarray(mask, dtype=np.float64)
-        levels: list[Tensor] = []
-        for encoder, coarsening in zip(self.encoders, self.coarsenings):
-            if not hasattr(coarsening, "coarsen_batched"):
-                raise NotImplementedError(
-                    f"{type(coarsening).__name__} has no batched path; "
-                    "run it through the per-graph loop instead"
-                )
-            h = encoder.forward_batched(adjacency, h, mask)
-            adjacency, h, mask = coarsening.coarsen_batched(adjacency, h, mask)
-            levels.append(masked_mean(h, mask[:, :, None], axis=1))
-        return levels
+        """Deprecated alias — ``embed_levels`` now dispatches on rank."""
+        warn_deprecated(
+            "HierarchicalEmbedder.embed_levels_batched",
+            "HierarchicalEmbedder.embed_levels",
+        )
+        return self.embed_levels(adjacency, h, mask)
 
     def forward_batched(self, adjacency, h: Tensor, mask) -> Tensor:
-        """Final graph-level embeddings ``(B, F)`` for a padded batch."""
-        return self.embed_levels_batched(adjacency, h, mask)[-1]
+        """Deprecated alias — ``forward`` now dispatches on rank."""
+        warn_deprecated(
+            "HierarchicalEmbedder.forward_batched", "HierarchicalEmbedder.__call__"
+        )
+        return self.forward(adjacency, h, mask)
 
     def auxiliary_loss(self) -> Tensor | None:
         """Sum of the coarsening operators' auxiliary losses, if any."""

@@ -27,7 +27,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.init import glorot_uniform
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, warn_deprecated
+from repro.observe.tracing import span
 from repro.tensor import (
     Tensor,
     as_tensor,
@@ -111,8 +112,13 @@ class MOA(Module):
             self.negative_slope,
         )
 
-    def forward(self, content: Tensor) -> Tensor:
+    def forward(self, content: Tensor, mask=None) -> Tensor:
         """Row-softmax-normalised attention assignment (Eq. 15).
+
+        Dispatches on input rank: ``(N, N')`` content runs the
+        single-graph path below; ``(B, N, N')`` content (with an
+        optional ``(B, N)`` validity mask, defaulting to all-valid)
+        runs the padded-batch path.
 
         All heads are scored in one vectorised pass: the per-head logits
         are stacked into an ``(N, N', H)`` block, row-softmaxed along the
@@ -121,20 +127,25 @@ class MOA(Module):
         normalisation is preserved).
         """
         content = as_tensor(content)
-        n, n_prime = content.shape
-        if n_prime != self.num_clusters:
-            raise ValueError(
-                f"content has {n_prime} clusters, MOA expects {self.num_clusters}"
+        with span("moa"):
+            if content.ndim == 3:
+                if mask is None:
+                    mask = np.ones(content.shape[:2], dtype=np.float64)
+                return self._forward_padded(content, mask)
+            n, n_prime = content.shape
+            if n_prime != self.num_clusters:
+                raise ValueError(
+                    f"content has {n_prime} clusters, MOA expects {self.num_clusters}"
+                )
+            relaxed = self._relaxed_columns(content)  # (N', N')
+            row_scores = content @ self.att_row.T  # (N, H)
+            col_scores = relaxed @ self.att_col.T  # (N', H)
+            scores = leaky_relu(
+                row_scores.reshape(n, 1, self.num_heads)
+                + col_scores.reshape(1, n_prime, self.num_heads),
+                self.negative_slope,
             )
-        relaxed = self._relaxed_columns(content)  # (N', N')
-        row_scores = content @ self.att_row.T  # (N, H)
-        col_scores = relaxed @ self.att_col.T  # (N', H)
-        scores = leaky_relu(
-            row_scores.reshape(n, 1, self.num_heads)
-            + col_scores.reshape(1, n_prime, self.num_heads),
-            self.negative_slope,
-        )
-        return softmax(scores, axis=1).mean(axis=2)
+            return softmax(scores, axis=1).mean(axis=2)
 
     # ------------------------------------------------------------------
     # Batched execution path (docs/batching.md)
@@ -159,6 +170,11 @@ class MOA(Module):
         return transpose(masked_content[:, :n_prime, :], (0, 2, 1))
 
     def forward_batched(self, content: Tensor, mask) -> Tensor:
+        """Deprecated alias — ``forward`` now dispatches on input rank."""
+        warn_deprecated("MOA.forward_batched", "MOA.__call__")
+        return self.forward(content, mask)
+
+    def _forward_padded(self, content: Tensor, mask) -> Tensor:
         """Batched assignment for ``(B, N, N')`` content with a
         ``(B, N)`` validity mask.
 

@@ -92,6 +92,7 @@ def run_classification(
     lr: float = 0.01,
     cluster_sizes: tuple[int, ...] = (6, 1),
     test_size: int = 50,
+    callbacks=None,
     **model_kwargs,
 ) -> ClassificationResult:
     """Train and test one Table 3 cell (method x dataset).
@@ -121,6 +122,7 @@ def run_classification(
         rng,
         config,
         val_metric=lambda: classification_accuracy(model, val),
+        callbacks=callbacks,
     )
     accuracy = classification_accuracy(model, test)
     return ClassificationResult(method, dataset, accuracy, model, test)
@@ -137,6 +139,7 @@ def run_matching(
     cluster_sizes: tuple[int, ...] = (6, 1),
     test_pairs: Sequence[MatchingPair] | None = None,
     test_size: int = 30,
+    callbacks=None,
     **model_kwargs,
 ) -> float:
     """Train one Table 4 / Table 7 cell and return test accuracy.
@@ -163,7 +166,14 @@ def run_matching(
         hidden=hidden, cluster_sizes=cluster_sizes, **model_kwargs,
     )
     config = TrainConfig(epochs=epochs, lr=lr)
-    fit(model, train, rng, config, val_metric=lambda: matching_accuracy(model, val))
+    fit(
+        model,
+        train,
+        rng,
+        config,
+        val_metric=lambda: matching_accuracy(model, val),
+        callbacks=callbacks,
+    )
     model.calibrate_threshold(val)
     return matching_accuracy(model, test)
 
@@ -228,6 +238,7 @@ def run_similarity(
     hidden: int = 16,
     lr: float = 0.01,
     cluster_sizes: tuple[int, ...] = (4, 1),
+    callbacks=None,
     **model_kwargs,
 ) -> float:
     """Train one Fig. 5 / Table 5 similarity cell; returns triplet accuracy."""
@@ -237,7 +248,7 @@ def run_similarity(
         method, dim, rng, hidden=hidden, cluster_sizes=cluster_sizes, **model_kwargs
     )
     config = TrainConfig(epochs=epochs, lr=lr)
-    fit(model, train, rng, config)
+    fit(model, train, rng, config, callbacks=callbacks)
     return triplet_accuracy(model.predict_closer_to_right, test)
 
 
@@ -251,6 +262,7 @@ def run_simgnn_similarity(
     lr: float = 0.01,
     use_hap_pooling: bool = False,
     cluster_sizes: tuple[int, ...] = (4, 1),
+    callbacks=None,
 ) -> float:
     """Fig. 5's SimGNN / SimGNN-HAP rows.
 
@@ -286,7 +298,7 @@ def run_simgnn_similarity(
         return cache[key]
 
     config = TrainConfig(epochs=epochs, lr=lr)
-    fit(model, train, rng, config, loss_fn=loss_fn)
+    fit(model, train, rng, config, loss_fn=loss_fn, callbacks=callbacks)
     return triplet_accuracy(model.predict_closer_to_right, test)
 
 

@@ -11,7 +11,8 @@ import numpy as np
 
 from repro.gnn.extra_layers import GINLayer, SAGELayer
 from repro.gnn.layers import GATLayer, GCNLayer
-from repro.nn.module import Module
+from repro.nn.module import Module, warn_deprecated
+from repro.observe.tracing import span
 from repro.tensor import Tensor
 
 
@@ -58,16 +59,18 @@ class GNNEncoder(Module):
     def out_features(self) -> int:
         return self.layers[-1].out_features
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
-        for layer in self.layers:
-            h = layer(adjacency, h)
+    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Run the stack; each layer dispatches on input rank, so a
+        padded ``(B, N, ·)`` batch works the same as a single graph."""
+        with span("encoder"):
+            for layer in self.layers:
+                h = layer(adjacency, h, mask)
         return h
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
-        """Run the stack on a padded batch (see docs/batching.md)."""
-        for layer in self.layers:
-            h = layer.forward_batched(adjacency, h, mask)
-        return h
+        """Deprecated alias — ``forward`` now dispatches on input rank."""
+        warn_deprecated("GNNEncoder.forward_batched", "GNNEncoder.__call__")
+        return self.forward(adjacency, h, mask)
 
     def layer_outputs(self, adjacency, h: Tensor) -> list[Tensor]:
         """Node representations after every layer (GCN-concat readout)."""

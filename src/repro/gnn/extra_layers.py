@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.gnn.layers import _activate
 from repro.nn.init import glorot_uniform, zeros
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, warn_deprecated
 from repro.tensor import Tensor, as_tensor, concat, power
 
 
@@ -44,7 +44,10 @@ class GINLayer(Module):
         else:
             self.eps = None
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Single-graph and padded-batch inputs share one body: every op
+        broadcasts over a leading batch axis, and padding rows aggregate
+        nothing (their adjacency rows are zero)."""
         h = as_tensor(h)
         adj = as_tensor(adjacency)
         aggregated = adj @ h
@@ -56,10 +59,9 @@ class GINLayer(Module):
         return _activate(hidden @ self.w2 + self.b2, self.activation)
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
-        """Batched GIN: every op broadcasts over the leading batch axis,
-        and padding rows aggregate nothing (their adjacency rows are
-        zero), so the 2-D formula applies unchanged."""
-        return self.forward(adjacency, h)
+        """Deprecated alias — ``forward`` now handles both ranks."""
+        warn_deprecated("GINLayer.forward_batched", "GINLayer.__call__")
+        return self.forward(adjacency, h, mask)
 
 
 class SAGELayer(Module):
@@ -79,21 +81,24 @@ class SAGELayer(Module):
         self.weight = Parameter(glorot_uniform(rng, 2 * in_features, out_features))
         self.bias = Parameter(zeros(out_features))
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Dispatch on input rank: ``(N, F)`` single graph or
+        ``(B, N, F)`` padded batch."""
         h = as_tensor(h)
         adj = as_tensor(adjacency)
-        n = h.shape[0]
-        degree = adj.sum(axis=1) + 1e-8
-        neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(n, 1)
-        combined = concat([h, neighbour_mean], axis=1)
+        if h.ndim == 3:
+            batch, n = h.shape[0], h.shape[1]
+            degree = adj.sum(axis=-1) + 1e-8  # (B, N)
+            neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(batch, n, 1)
+            combined = concat([h, neighbour_mean], axis=-1)
+        else:
+            n = h.shape[0]
+            degree = adj.sum(axis=1) + 1e-8
+            neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(n, 1)
+            combined = concat([h, neighbour_mean], axis=1)
         return _activate(combined @ self.weight + self.bias, self.activation)
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
-        """Batched GraphSAGE on ``(B, N, N)`` / ``(B, N, F)`` inputs."""
-        h = as_tensor(h)
-        adj = as_tensor(adjacency)
-        batch, n = h.shape[0], h.shape[1]
-        degree = adj.sum(axis=-1) + 1e-8  # (B, N)
-        neighbour_mean = (adj @ h) * power(degree, -1.0).reshape(batch, n, 1)
-        combined = concat([h, neighbour_mean], axis=-1)
-        return _activate(combined @ self.weight + self.bias, self.activation)
+        """Deprecated alias — ``forward`` now dispatches on input rank."""
+        warn_deprecated("SAGELayer.forward_batched", "SAGELayer.__call__")
+        return self.forward(adjacency, h, mask)

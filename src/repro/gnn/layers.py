@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.init import glorot_uniform, zeros
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, warn_deprecated
 from repro.tensor import Tensor, as_tensor, leaky_relu, power, relu, softmax, where
 
 
@@ -93,21 +93,24 @@ class GCNLayer(Module):
         self.bias = Parameter(zeros(out_features), name="bias")
         self.activation = activation
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Dispatch on input rank: ``(N, F)`` runs the single-graph
+        convolution, ``(B, N, F)`` the padded-batch one.  On the padded
+        path, padding rows produce ``act(bias)`` garbage that never
+        reaches valid rows (their normalised adjacency entries are
+        zero); downstream masked reductions discard it."""
         h = as_tensor(h)
-        normalized = normalize_adjacency(adjacency)
+        if h.ndim == 3:
+            normalized = normalize_adjacency_batched(adjacency)
+        else:
+            normalized = normalize_adjacency(adjacency)
         out = normalized @ (h @ self.weight) + self.bias
         return _activate(out, self.activation)
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
-        """Batched forward on ``(B, N, N)`` adjacency and ``(B, N, F)``
-        features.  Padding rows produce ``act(bias)`` garbage that never
-        reaches valid rows (their normalised adjacency entries are zero);
-        downstream masked reductions discard it."""
-        h = as_tensor(h)
-        normalized = normalize_adjacency_batched(adjacency)
-        out = normalized @ (h @ self.weight) + self.bias
-        return _activate(out, self.activation)
+        """Deprecated alias — ``forward`` now dispatches on input rank."""
+        warn_deprecated("GCNLayer.forward_batched", "GCNLayer.__call__")
+        return self.forward(adjacency, h, mask)
 
 
 class GATLayer(Module):
@@ -143,8 +146,12 @@ class GATLayer(Module):
         self.activation = activation
         self.negative_slope = negative_slope
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Dispatch on input rank: 2-D features run the single-graph
+        attention, 3-D the padded-batch one."""
         h = as_tensor(h)
+        if h.ndim == 3:
+            return self._forward_padded(adjacency, h)
         n = h.shape[0]
         transformed = h @ self.weight  # (N, F')
         score_src = transformed @ self.att_src  # (N,)
@@ -165,6 +172,11 @@ class GATLayer(Module):
         return _activate(out, self.activation)
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
+        """Deprecated alias — ``forward`` now dispatches on input rank."""
+        warn_deprecated("GATLayer.forward_batched", "GATLayer.__call__")
+        return self.forward(adjacency, h, mask)
+
+    def _forward_padded(self, adjacency, h: Tensor) -> Tensor:
         """Batched GAT on ``(B, N, N)`` adjacency and ``(B, N, F)`` features.
 
         The neighbourhood mask keeps the per-graph semantics: padding

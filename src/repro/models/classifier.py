@@ -55,8 +55,13 @@ class GraphClassifier(Module):
             embedding = embedding + level
         return self.fc2(relu(self.fc1(embedding)))
 
-    def forward(self, graph: Graph) -> Tensor:
-        return self.logits(graph)
+    def forward(self, graph) -> Tensor:
+        """Class logits: ``(C,)`` for a single :class:`Graph`, ``(B, C)``
+        for a :class:`~repro.data.batching.PaddedBatch` or a sequence of
+        graphs."""
+        if isinstance(graph, Graph):
+            return self.logits(graph)
+        return self.logits_batched(graph)
 
     def loss(self, graph: Graph) -> Tensor:
         """Cross-entropy (Eq. 21) plus any embedder auxiliary loss."""
@@ -85,7 +90,7 @@ class GraphClassifier(Module):
         readouts feeds the same two fully-connected layers.
         """
         batch = self._as_batch(graphs)
-        levels = self.embedder.embed_levels_batched(
+        levels = self.embedder.embed_levels(
             batch.adjacency, Tensor(batch.features), batch.mask
         )
         embedding = levels[0]

@@ -30,8 +30,14 @@ class FlatEmbedder(Module):
         self.readout = readout
         self.out_features = readout.out_features
 
-    def embed_levels(self, adjacency, features: Tensor) -> list[Tensor]:
-        h = self.encoder(adjacency, as_tensor(features))
+    def embed_levels(self, adjacency, features: Tensor, mask=None) -> list[Tensor]:
+        features = as_tensor(features)
+        if features.ndim == 3:
+            raise NotImplementedError(
+                "FlatEmbedder has no batched path; "
+                "run it through the per-graph loop instead"
+            )
+        h = self.encoder(adjacency, features)
         return [self.readout(adjacency, h)]
 
     def forward(self, adjacency, features: Tensor) -> Tensor:
@@ -52,8 +58,14 @@ class RawReadoutEmbedder(Module):
         self.readout = readout
         self.out_features = readout.out_features
 
-    def embed_levels(self, adjacency, features: Tensor) -> list[Tensor]:
-        return [self.readout(adjacency, as_tensor(features))]
+    def embed_levels(self, adjacency, features: Tensor, mask=None) -> list[Tensor]:
+        features = as_tensor(features)
+        if features.ndim == 3:
+            raise NotImplementedError(
+                "RawReadoutEmbedder has no batched path; "
+                "run it through the per-graph loop instead"
+            )
+        return [self.readout(adjacency, features)]
 
     def forward(self, adjacency, features: Tensor) -> Tensor:
         return self.embed_levels(adjacency, features)[-1]

@@ -1,0 +1,270 @@
+"""Trainer event API and run logging.
+
+:func:`repro.training.fit` drives a list of :class:`Callback` objects
+through a fixed event sequence::
+
+    on_train_start(model, config)
+    for each epoch:
+        on_epoch_start(epoch)
+        for each mini-batch:
+            on_batch_end(epoch, step, loss, batch_size)
+        on_epoch_end(epoch, logs)       # logs: loss/val_metric/lr/epoch_time_s
+    on_train_end(history)
+
+Ready-made callbacks: :class:`ConsoleLogger` (the old ``verbose``
+printing), :class:`MetricsLogger` (updates a
+:class:`~repro.observe.metrics.MetricsRegistry`) and
+:class:`JSONLLogger` (structured run logs under ``results/``, schema
+``repro.runlog/v1``, see :data:`RUN_LOG_SCHEMA`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.observe.metrics import MetricsRegistry, get_registry
+
+SCHEMA_VERSION = "repro.runlog/v1"
+
+#: Required fields per event type in a JSONL run log.
+RUN_LOG_SCHEMA: dict[str, tuple[str, ...]] = {
+    "train_start": (
+        "event",
+        "schema",
+        "time",
+        "epochs",
+        "lr",
+        "batch_size",
+        "batched",
+        "num_parameters",
+    ),
+    "epoch_end": (
+        "event",
+        "time",
+        "epoch",
+        "loss",
+        "val_metric",
+        "lr",
+        "epoch_time_s",
+    ),
+    "batch_end": ("event", "time", "epoch", "step", "loss", "batch_size"),
+    "train_end": ("event", "time", "epochs_run", "best_epoch", "best_metric"),
+}
+
+
+class Callback:
+    """Base class: every hook is a no-op; override what you need."""
+
+    def on_train_start(self, model, config) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_epoch_start(self, epoch: int) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_batch_end(
+        self, epoch: int, step: int, loss: float, batch_size: int
+    ) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:  # pragma: no cover
+        pass
+
+    def on_train_end(self, history) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class CallbackList(Callback):
+    """Fans every event out to its members, in order."""
+
+    def __init__(self, callbacks=None):
+        self.callbacks: list[Callback] = list(callbacks or [])
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_train_start(self, model, config) -> None:
+        for cb in self.callbacks:
+            cb.on_train_start(model, config)
+
+    def on_epoch_start(self, epoch: int) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_start(epoch)
+
+    def on_batch_end(self, epoch: int, step: int, loss: float, batch_size: int) -> None:
+        for cb in self.callbacks:
+            cb.on_batch_end(epoch, step, loss, batch_size)
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_end(epoch, logs)
+
+    def on_train_end(self, history) -> None:
+        for cb in self.callbacks:
+            cb.on_train_end(history)
+
+
+class ConsoleLogger(Callback):
+    """Prints one line per epoch (the old ``TrainConfig.verbose`` format)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        val = logs.get("val_metric")
+        if val is None:
+            val = math.nan
+        stream = self.stream if self.stream is not None else sys.stdout
+        print(
+            f"epoch {epoch:3d}  loss {logs['loss']:.4f}  val {val:.4f}",
+            file=stream,
+        )
+
+
+class MetricsLogger(Callback):
+    """Updates a :class:`MetricsRegistry` from training events."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def on_batch_end(self, epoch: int, step: int, loss: float, batch_size: int) -> None:
+        reg = self.registry
+        reg.counter("train/steps").inc()
+        reg.counter("train/examples").inc(batch_size)
+        reg.histogram("train/batch_loss").observe(loss)
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        reg = self.registry
+        reg.counter("train/epochs").inc()
+        reg.gauge("train/loss").set(logs["loss"])
+        if logs.get("epoch_time_s") is not None:
+            reg.histogram("train/epoch_time_s").observe(logs["epoch_time_s"])
+        if logs.get("val_metric") is not None:
+            reg.gauge("train/val_metric").set(logs["val_metric"])
+
+
+class JSONLLogger(Callback):
+    """Writes one JSON object per event to a ``.jsonl`` run log.
+
+    The file is (re)opened on ``train_start`` and closed on
+    ``train_end``; per-batch events are off by default to keep logs
+    small.
+    """
+
+    def __init__(self, path, log_batches: bool = False):
+        self.path = Path(path)
+        self.log_batches = log_batches
+        self._fh = None
+
+    def _emit(self, record: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def on_train_start(self, model, config) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        num_parameters = sum(
+            int(p.data.size) for p in model.parameters()
+        ) if hasattr(model, "parameters") else 0
+        self._emit(
+            {
+                "event": "train_start",
+                "schema": SCHEMA_VERSION,
+                "time": time.time(),
+                "epochs": config.epochs,
+                "lr": config.lr,
+                "batch_size": config.batch_size,
+                "batched": config.batched,
+                "num_parameters": num_parameters,
+            }
+        )
+
+    def on_batch_end(self, epoch: int, step: int, loss: float, batch_size: int) -> None:
+        if not self.log_batches:
+            return
+        self._emit(
+            {
+                "event": "batch_end",
+                "time": time.time(),
+                "epoch": epoch,
+                "step": step,
+                "loss": loss,
+                "batch_size": batch_size,
+            }
+        )
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        self._emit(
+            {
+                "event": "epoch_end",
+                "time": time.time(),
+                "epoch": epoch,
+                "loss": logs["loss"],
+                "val_metric": logs.get("val_metric"),
+                "lr": logs.get("lr"),
+                "epoch_time_s": logs.get("epoch_time_s"),
+            }
+        )
+
+    def on_train_end(self, history) -> None:
+        best_metric = history.best_metric
+        if best_metric is not None and not math.isfinite(best_metric):
+            best_metric = None  # strict JSON cannot carry -inf
+        self._emit(
+            {
+                "event": "train_end",
+                "time": time.time(),
+                "epochs_run": len(history.losses),
+                "best_epoch": history.best_epoch,
+                "best_metric": best_metric,
+            }
+        )
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_run_log(path) -> list[dict]:
+    """Parse a JSONL run log into a list of event records."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_run_log(records: list[dict]) -> None:
+    """Check a parsed run log against :data:`RUN_LOG_SCHEMA`.
+
+    Raises ``ValueError`` on an unknown event, a missing field, a
+    missing ``train_start`` header, or a wrong schema version.
+    """
+    if not records:
+        raise ValueError("empty run log")
+    first = records[0]
+    if first.get("event") != "train_start":
+        raise ValueError("run log must start with a train_start event")
+    if first.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported run-log schema {first.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION!r})"
+        )
+    for i, record in enumerate(records):
+        event = record.get("event")
+        required = RUN_LOG_SCHEMA.get(event)
+        if required is None:
+            raise ValueError(f"record {i}: unknown event {event!r}")
+        missing = [name for name in required if name not in record]
+        if missing:
+            raise ValueError(f"record {i} ({event}): missing fields {missing}")

@@ -1,0 +1,150 @@
+"""Counters, gauges and histograms behind a process-local registry.
+
+Instruments are created on first use (``registry.counter("train/steps")``)
+and are cheap enough to update from hot loops.  ``snapshot()`` renders
+the whole registry as plain JSON-serialisable data for run logs and
+profile reports.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. current loss)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/last).
+
+    Keeps O(1) state rather than the raw samples, so it is safe to
+    observe once per training step for arbitrarily long runs.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.last = math.nan
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "last": self.last if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    A name is bound to one instrument type for the registry's lifetime;
+    asking for the same name with a different type raises ``TypeError``.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name)
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view: ``{counters, gauges, histograms}``."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                out["histograms"][name] = instrument.summary()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (used between test cases / runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous

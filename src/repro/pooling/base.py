@@ -4,36 +4,136 @@
 ``Coarsening`` maps a graph to a smaller graph (hierarchical pooling).
 Any coarsening doubles as a readout by coarsening to its target size
 and mean-aggregating the surviving clusters.
+
+Uniform contract (enforced here, conformance-tested by
+``tests/test_pooling_contract.py``):
+
+- Inputs: ``adjacency`` is ``None`` (allowed for operators that ignore
+  structure), a numpy array, or a ``Tensor`` — always 2-D square
+  ``(N, N)`` matching ``h``'s ``(N, F)`` rows.  ``h`` may be a numpy
+  array or ``Tensor``; it is coerced to ``Tensor``.
+- ``Readout.__call__(adjacency, h) -> Tensor`` of shape
+  ``(out_features,)``.
+- ``Coarsening.__call__(adjacency, h) -> (A', H')`` with 2-D ``A'``
+  (square) and ``H'``.  Operators with a padded-batch implementation
+  set ``supports_padded = True`` and implement ``coarsen_padded``;
+  ``__call__(adjacency, h, mask)`` on 3-D input then returns
+  ``(A', H', mask')``.  The rest raise ``NotImplementedError`` on 3-D
+  input instead of silently mis-broadcasting.
+
+Subclasses implement the ``readout`` / ``coarsen`` hooks; ``forward``
+is the validating template and should not be overridden.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.nn.module import Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, as_tensor
+
+
+def prepare_graph_inputs(adjacency, h) -> tuple[object, Tensor]:
+    """Validate and coerce one operator input pair.
+
+    ``h`` becomes a 2-D ``Tensor``; ``adjacency`` passes through
+    unchanged (``None`` stays ``None`` — structure-free operators like
+    ``SumPool`` accept it) after a shape check against ``h``.
+    """
+    h = as_tensor(h)
+    if h.ndim != 2:
+        raise ValueError(f"expected (N, F) node features, got shape {h.shape}")
+    if adjacency is not None:
+        shape = adjacency.shape if isinstance(adjacency, Tensor) else np.shape(adjacency)
+        if len(shape) != 2 or shape[0] != shape[1]:
+            raise ValueError(f"expected square (N, N) adjacency, got shape {shape}")
+        if shape[0] != h.shape[0]:
+            raise ValueError(
+                f"adjacency is for {shape[0]} nodes but features have {h.shape[0]} rows"
+            )
+    return adjacency, h
 
 
 class Readout(Module):
-    """Maps ``(adjacency, node_features)`` to a 1-D graph embedding."""
+    """Maps ``(adjacency, node_features)`` to a 1-D graph embedding.
+
+    Subclasses implement :meth:`readout`; the base ``forward`` validates
+    the contract on the way in (2-D features, square adjacency or
+    ``None``) and out (a 1-D vector of ``out_features``).
+    """
 
     #: output embedding dimension; set by subclasses.
     out_features: int
 
     def forward(self, adjacency, h: Tensor) -> Tensor:
+        h = as_tensor(h)
+        if h.ndim == 3:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no padded-batch path; "
+                "run it through the per-graph loop instead"
+            )
+        adjacency, h = prepare_graph_inputs(adjacency, h)
+        out = self.readout(adjacency, h)
+        if out.ndim != 1 or out.shape[0] != self.out_features:
+            raise AssertionError(
+                f"{type(self).__name__}.readout returned shape {out.shape}, "
+                f"expected ({self.out_features},)"
+            )
+        return out
+
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         raise NotImplementedError
 
 
 class Coarsening(Module):
     """Maps ``(adjacency, node_features)`` to a coarser ``(A', H')``.
 
-    Subclasses document how their output size is determined (a fixed
-    cluster count, a keep-ratio, or 1 for global pools).
+    Subclasses implement :meth:`coarsen` and document how their output
+    size is determined (a fixed cluster count, a keep-ratio, or 1 for
+    global pools).  Operators with a vectorised padded-batch
+    implementation set ``supports_padded = True`` and implement
+    :meth:`coarsen_padded`.
     """
+
+    #: whether :meth:`coarsen_padded` exists (3-D dispatch target).
+    supports_padded: bool = False
+
+    def forward(self, adjacency, h: Tensor, mask=None):
+        h = as_tensor(h)
+        if h.ndim == 3:
+            if not self.supports_padded:
+                raise NotImplementedError(
+                    f"{type(self).__name__} has no batched path; "
+                    "run it through the per-graph loop instead"
+                )
+            return self.coarsen_padded(adjacency, h, mask)
+        adjacency, h = prepare_graph_inputs(adjacency, h)
+        adj_coarse, h_coarse = self.coarsen(adjacency, h)
+        if h_coarse.ndim != 2:
+            raise AssertionError(
+                f"{type(self).__name__}.coarsen returned {h_coarse.ndim}-D "
+                "features, expected (N', F)"
+            )
+        k = h_coarse.shape[0]
+        if adj_coarse.ndim != 2 or adj_coarse.shape != (k, k):
+            raise AssertionError(
+                f"{type(self).__name__}.coarsen returned adjacency shape "
+                f"{adj_coarse.shape} for {k} clusters, expected ({k}, {k})"
+            )
+        return adj_coarse, h_coarse
 
     def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
         raise NotImplementedError
 
-    def forward(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
-        return self.coarsen(adjacency, h)
+    def coarsen_padded(self, adjacency, h: Tensor, mask):
+        """Padded-batch coarsening ``(A, H, mask) -> (A', H', mask')``.
+
+        Only meaningful when ``supports_padded`` is true.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batched path; "
+            "run it through the per-graph loop instead"
+        )
 
     def auxiliary_loss(self) -> Tensor | None:
         """Regularisation term recorded by the last ``coarsen`` call.
@@ -47,5 +147,5 @@ class Coarsening(Module):
 
 def coarsening_readout(coarsening: Coarsening, adjacency, h: Tensor) -> Tensor:
     """Use a coarsening operator as a readout: coarsen then mean-pool."""
-    _, h_coarse = coarsening.coarsen(adjacency, h)
+    _, h_coarse = coarsening(adjacency, h)
     return h_coarse.mean(axis=0)

@@ -27,7 +27,7 @@ class Set2Set(Readout):
         self.out_features = 2 * in_features
         self.lstm = LSTMCell(2 * in_features, in_features, rng)
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         n, f = h.shape
         q_star = Tensor(np.zeros(2 * f))
         state = self.lstm.initial_state()

@@ -25,7 +25,7 @@ class SortPooling(Readout):
         self.in_features = in_features
         self.out_features = k * in_features
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         n, f = h.shape
         order = np.argsort(-h.data[:, -1], kind="stable")[: self.k]
         selected = gather_rows(h, order)

@@ -32,7 +32,7 @@ class SumPool(Readout):
         super().__init__()
         self.out_features = in_features
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         return h.sum(axis=0)
 
 
@@ -43,7 +43,7 @@ class MeanPool(Readout):
         super().__init__()
         self.out_features = in_features
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         return h.mean(axis=0)
 
 
@@ -54,7 +54,7 @@ class MaxPool(Readout):
         super().__init__()
         self.out_features = in_features
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         return h.max(axis=0)
 
 
@@ -66,7 +66,7 @@ class GCNConcat(Readout):
         self.encoder = encoder
         self.out_features = sum(layer.out_features for layer in encoder.layers)
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         outputs = self.encoder.layer_outputs(adjacency, h)
         return concat(outputs, axis=1).mean(axis=0)
 
@@ -88,7 +88,7 @@ class MeanAttPool(Readout):
         context = h.mean(axis=0) @ self.weight  # (F,)
         return sigmoid(h @ context)  # (N,)
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         scores = self.attention(h)
         n = h.shape[0]
         return (scores.reshape(1, n) @ h).reshape(h.shape[1])
@@ -103,7 +103,7 @@ class GatedAttPool(Readout):
         self.gate = Linear(in_features, 1, rng)
         self.project = Linear(in_features, in_features, rng)
 
-    def forward(self, adjacency, h: Tensor) -> Tensor:
+    def readout(self, adjacency, h: Tensor) -> Tensor:
         n = h.shape[0]
         gates = sigmoid(self.gate(h)).reshape(1, n)
         projected = tanh(self.project(h))

@@ -11,6 +11,12 @@ import numpy as np
 
 from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
 
+#: Op-level profiling hook (see repro.observe.profiler).  When ``None``
+#: (the default) every op runs its raw implementation after a single
+#: ``is None`` check; installing an ``OpProfiler`` routes calls through
+#: ``hook.run_op(name, fn, args, kwargs)`` instead.
+_PROFILE_HOOK = None
+
 # ---------------------------------------------------------------------------
 # Elementwise arithmetic
 # ---------------------------------------------------------------------------
@@ -544,3 +550,74 @@ def dropout_mask(shape, rate: float, rng: np.random.Generator) -> np.ndarray:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
     return (rng.random(shape) < keep).astype(np.float64) / keep
+
+
+# ---------------------------------------------------------------------------
+# Profiling instrumentation
+# ---------------------------------------------------------------------------
+#
+# Every tape-building op above is wrapped exactly once, here, before
+# ``repro.tensor.__init__`` re-exports the names — so call sites that do
+# ``from repro.tensor import bmm`` get the instrumented function too.
+# The wrapper costs one global read + ``is None`` check when profiling
+# is off; the raw implementation stays reachable as ``op.__wrapped__``
+# (benchmarks/test_profile_overhead.py measures the difference).
+
+
+def _instrumented(name, fn):
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        hook = _PROFILE_HOOK
+        if hook is None:
+            return fn(*args, **kwargs)
+        return hook.run_op(name, fn, args, kwargs)
+
+    return wrapper
+
+
+#: Names wrapped by the profiling shim (``dropout_mask`` is excluded:
+#: it returns a constant numpy array, not a tape node).
+_INSTRUMENTED_OPS = (
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "power",
+    "sqrt",
+    "exp",
+    "log",
+    "maximum",
+    "where",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "matmul",
+    "transpose",
+    "reshape",
+    "getitem",
+    "gather_rows",
+    "concat",
+    "stack",
+    "pad2d",
+    "bmm",
+    "masked_softmax",
+    "masked_sum",
+    "masked_mean",
+    "sum_along",
+    "mean",
+    "max_along",
+    "absolute",
+    "clip",
+    "norm",
+    "min_along",
+)
+
+for _name in _INSTRUMENTED_OPS:
+    globals()[_name] = _instrumented(_name, globals()[_name])
+del _name

@@ -8,6 +8,8 @@ validation metric with early stopping and best-weight restoration
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -15,6 +17,8 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.nn.optim import Adam
+from repro.observe.callbacks import Callback, CallbackList, ConsoleLogger
+from repro.observe.tracing import span
 
 
 @dataclass
@@ -25,6 +29,7 @@ class TrainConfig:
     lr: float = 0.01
     batch_size: int = 8
     patience: int | None = None  # early stopping on the validation metric
+    #: deprecated — pass ``callbacks=[ConsoleLogger()]`` to :func:`fit`
     verbose: bool = False
     #: multiply the learning rate by ``lr_decay`` every ``lr_step`` epochs
     lr_decay: float = 1.0
@@ -72,6 +77,7 @@ def fit(
     loss_fn: Callable | None = None,
     val_metric: Callable[[], float] | None = None,
     batch_loss_fn: Callable | None = None,
+    callbacks: Sequence[Callback] | None = None,
 ) -> TrainHistory:
     """Train ``model`` on ``examples``.
 
@@ -90,51 +96,77 @@ def fit(
         The batched step optimises the same objective as the per-example
         loop (see tests/test_batched_equivalence.py) with one padded
         forward/backward per mini-batch instead of ``batch_size``.
+    callbacks:
+        :class:`repro.observe.Callback` objects receiving the trainer's
+        event stream (``on_train_start`` … ``on_train_end``); e.g.
+        ``ConsoleLogger()`` for per-epoch printing or ``JSONLLogger``
+        for structured run logs (docs/observability.md).
     """
     config = config or TrainConfig()
     if loss_fn is None:
         loss_fn = lambda m, ex: m.loss(ex)  # noqa: E731 - tiny default
+    events = CallbackList(callbacks)
+    if config.verbose:
+        warnings.warn(
+            "TrainConfig.verbose is deprecated; pass "
+            "callbacks=[ConsoleLogger()] to fit() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        events.append(ConsoleLogger())
     optimizer = Adam(model.parameters(), lr=config.lr)
     history = TrainHistory()
     best_state = None
     stale = 0
 
+    events.on_train_start(model, config)
     for epoch in range(config.epochs):
         if config.lr_decay != 1.0 and epoch > 0 and epoch % config.lr_step == 0:
             optimizer.lr *= config.lr_decay
+        events.on_epoch_start(epoch)
+        epoch_start = time.perf_counter()
         model.train()
         order = rng.permutation(len(examples))
         epoch_loss = 0.0
-        for start in range(0, len(order), config.batch_size):
-            batch = order[start : start + config.batch_size]
-            optimizer.zero_grad()
-            if config.batched:
-                chunk = [examples[idx] for idx in batch]
-                if batch_loss_fn is not None:
-                    total = batch_loss_fn(model, chunk)
-                else:
-                    total = model.batch_loss(chunk)
-            else:
-                total = None
-                for idx in batch:
-                    loss = loss_fn(model, examples[idx])
-                    total = loss if total is None else total + loss
-                total = total * (1.0 / len(batch))
-            if not np.isfinite(total.data):
-                raise FloatingPointError(
-                    f"non-finite loss at epoch {epoch} "
-                    f"(lr={config.lr}); reduce the learning rate"
-                )
-            total.backward()
-            if config.grad_clip is not None:
-                clip_gradients(optimizer.parameters, config.grad_clip)
-            optimizer.step()
-            epoch_loss += float(total.data) * len(batch)
+        with span("epoch"):
+            for step, start in enumerate(range(0, len(order), config.batch_size)):
+                batch = order[start : start + config.batch_size]
+                with span("step"):
+                    optimizer.zero_grad()
+                    with span("forward"):
+                        if config.batched:
+                            chunk = [examples[idx] for idx in batch]
+                            if batch_loss_fn is not None:
+                                total = batch_loss_fn(model, chunk)
+                            else:
+                                total = model.batch_loss(chunk)
+                        else:
+                            total = None
+                            for idx in batch:
+                                loss = loss_fn(model, examples[idx])
+                                total = loss if total is None else total + loss
+                            total = total * (1.0 / len(batch))
+                    if not np.isfinite(total.data):
+                        raise FloatingPointError(
+                            f"non-finite loss at epoch {epoch} "
+                            f"(lr={config.lr}); reduce the learning rate"
+                        )
+                    with span("backward"):
+                        total.backward()
+                    with span("optimizer"):
+                        if config.grad_clip is not None:
+                            clip_gradients(optimizer.parameters, config.grad_clip)
+                        optimizer.step()
+                batch_loss = float(total.data)
+                epoch_loss += batch_loss * len(batch)
+                events.on_batch_end(epoch, step, batch_loss, len(batch))
         history.losses.append(epoch_loss / max(len(examples), 1))
 
+        metric = None
         if val_metric is not None:
             model.eval()
-            metric = float(val_metric())
+            with span("validation"):
+                metric = float(val_metric())
             history.val_metrics.append(metric)
             if metric > history.best_metric:
                 history.best_metric = metric
@@ -143,13 +175,24 @@ def fit(
                 stale = 0
             else:
                 stale += 1
-            if config.patience is not None and stale > config.patience:
-                break
-        if config.verbose:
-            val = history.val_metrics[-1] if history.val_metrics else float("nan")
-            print(f"epoch {epoch:3d}  loss {history.losses[-1]:.4f}  val {val:.4f}")
+        events.on_epoch_end(
+            epoch,
+            {
+                "loss": history.losses[-1],
+                "val_metric": metric,
+                "lr": optimizer.lr,
+                "epoch_time_s": time.perf_counter() - epoch_start,
+            },
+        )
+        if (
+            val_metric is not None
+            and config.patience is not None
+            and stale > config.patience
+        ):
+            break
 
     if best_state is not None:
         model.load_state_dict(best_state)
     model.eval()
+    events.on_train_end(history)
     return history

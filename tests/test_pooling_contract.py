@@ -1,0 +1,208 @@
+"""Conformance test over the pooling zoo: every operator honours the
+uniform signature/return contract of :mod:`repro.pooling.base`.
+
+- ``Readout(adjacency, h) -> (out_features,)`` vector; adjacency may be
+  numpy, ``Tensor`` or (for structure-free ops) ``None``.
+- ``Coarsening(adjacency, h) -> (A', H')`` with square 2-D ``A'``.
+- 3-D (padded-batch) input raises ``NotImplementedError`` unless the
+  operator opts in with ``supports_padded`` (only HAP does today).
+- Malformed inputs fail loudly with ``ValueError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphCoarsening, HAPPooling
+from repro.gnn import GNNEncoder
+from repro.graph import random_connected
+from repro.pooling import (
+    ASAP,
+    AttPoolGlobal,
+    AttPoolLocal,
+    DiffPool,
+    GCNConcat,
+    GPool,
+    GatedAttPool,
+    MaxPool,
+    MeanAttPool,
+    MeanAttPoolCoarsening,
+    MeanPool,
+    MeanPoolCoarsening,
+    MinCutPool,
+    SAGPool,
+    Set2Set,
+    SortPooling,
+    SpectralPool,
+    StructPool,
+    SumPool,
+)
+from repro.pooling.base import Coarsening, Readout, coarsening_readout
+from repro.tensor import Tensor
+
+N, F = 10, 5
+
+# name -> (factory, ignores_structure)
+READOUTS = {
+    "SumPool": (lambda rng: SumPool(F), True),
+    "MeanPool": (lambda rng: MeanPool(F), True),
+    "MaxPool": (lambda rng: MaxPool(F), True),
+    "GCNConcat": (
+        lambda rng: GCNConcat(GNNEncoder([F, 4, 4], rng)),
+        False,
+    ),
+    "MeanAttPool": (lambda rng: MeanAttPool(F, rng), True),
+    "GatedAttPool": (lambda rng: GatedAttPool(F, rng), True),
+    "Set2Set": (lambda rng: Set2Set(F, rng), True),
+    "SortPooling": (lambda rng: SortPooling(F, k=3), True),
+}
+
+COARSENINGS = {
+    "MeanPoolCoarsening": lambda rng: MeanPoolCoarsening(),
+    "MeanAttPoolCoarsening": lambda rng: MeanAttPoolCoarsening(F, rng),
+    "GPool": lambda rng: GPool(F, rng, ratio=0.5),
+    "SAGPool": lambda rng: SAGPool(F, rng, ratio=0.5),
+    "AttPoolGlobal": lambda rng: AttPoolGlobal(F, rng, ratio=0.5),
+    "AttPoolLocal": lambda rng: AttPoolLocal(F, rng, ratio=0.5),
+    "DiffPool": lambda rng: DiffPool(F, 3, rng),
+    "ASAP": lambda rng: ASAP(F, rng, ratio=0.5),
+    "StructPool": lambda rng: StructPool(F, 3, rng),
+    "MinCutPool": lambda rng: MinCutPool(F, 3, rng),
+    "SpectralPool": lambda rng: SpectralPool(F, 3, rng),
+    "HAPPooling": lambda rng: HAPPooling(GraphCoarsening(F, 3, rng)),
+}
+
+
+@pytest.fixture
+def graph(rng):
+    g = random_connected(N, 0.4, rng)
+    return g.with_features(rng.normal(size=(N, F)))
+
+
+class TestReadoutContract:
+    @pytest.mark.parametrize("name", sorted(READOUTS))
+    def test_returns_out_features_vector(self, rng, graph, name):
+        factory, _ = READOUTS[name]
+        op = factory(rng)
+        out = op(graph.adjacency, Tensor(graph.features))
+        assert isinstance(out, Tensor)
+        assert out.shape == (op.out_features,)
+
+    @pytest.mark.parametrize("name", sorted(READOUTS))
+    def test_tensor_adjacency_equals_numpy(self, rng, graph, name):
+        factory, _ = READOUTS[name]
+        op = factory(rng)
+        out_np = op(graph.adjacency, Tensor(graph.features))
+        out_t = op(Tensor(graph.adjacency), Tensor(graph.features))
+        np.testing.assert_allclose(out_np.data, out_t.data)
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n, (_, free) in READOUTS.items() if free)
+    )
+    def test_structure_free_ops_accept_none_adjacency(self, rng, graph, name):
+        factory, _ = READOUTS[name]
+        op = factory(rng)
+        out = op(None, Tensor(graph.features))
+        np.testing.assert_allclose(
+            out.data, op(graph.adjacency, Tensor(graph.features)).data
+        )
+
+    @pytest.mark.parametrize("name", sorted(READOUTS))
+    def test_padded_batch_input_rejected(self, rng, graph, name):
+        factory, _ = READOUTS[name]
+        op = factory(rng)
+        padded = np.stack([graph.features, graph.features])
+        with pytest.raises(NotImplementedError, match="per-graph loop"):
+            op(None, Tensor(padded))
+
+    @pytest.mark.parametrize("name", sorted(READOUTS))
+    def test_malformed_inputs_rejected(self, rng, graph, name):
+        factory, _ = READOUTS[name]
+        op = factory(rng)
+        with pytest.raises(ValueError, match="node features"):
+            op(graph.adjacency, Tensor(graph.features[0]))
+        with pytest.raises(ValueError, match="square"):
+            op(graph.adjacency[:, :-1], Tensor(graph.features))
+        with pytest.raises(ValueError, match="nodes"):
+            op(graph.adjacency[:-1, :-1], Tensor(graph.features))
+
+
+class TestCoarseningContract:
+    @pytest.mark.parametrize("name", sorted(COARSENINGS))
+    def test_returns_square_coarse_pair(self, rng, graph, name):
+        op = COARSENINGS[name](rng)
+        op.eval()
+        adj_c, h_c = op(graph.adjacency, Tensor(graph.features))
+        assert h_c.ndim == 2
+        k = h_c.shape[0]
+        assert 1 <= k <= N
+        assert adj_c.shape == (k, k)
+        assert h_c.shape[1] == F
+
+    @pytest.mark.parametrize("name", sorted(COARSENINGS))
+    def test_works_as_readout(self, rng, graph, name):
+        op = COARSENINGS[name](rng)
+        op.eval()
+        out = coarsening_readout(op, graph.adjacency, Tensor(graph.features))
+        assert out.ndim == 1 and out.shape[0] == F
+
+    @pytest.mark.parametrize(
+        "name", sorted(n for n in COARSENINGS if n != "HAPPooling")
+    )
+    def test_padded_batch_input_rejected_unless_supported(self, rng, graph, name):
+        op = COARSENINGS[name](rng)
+        assert not op.supports_padded
+        padded = np.stack([graph.features, graph.features])
+        batched_adj = np.stack([graph.adjacency, graph.adjacency])
+        with pytest.raises(NotImplementedError, match="per-graph loop"):
+            op(batched_adj, Tensor(padded), np.ones((2, N)))
+
+    def test_hap_opts_into_padded_dispatch(self, rng, graph):
+        op = COARSENINGS["HAPPooling"](rng)
+        op.eval()
+        assert op.supports_padded
+        padded = np.stack([graph.features, graph.features])
+        batched_adj = np.stack([graph.adjacency, graph.adjacency])
+        adj_c, h_c, mask_c = op(batched_adj, Tensor(padded), np.ones((2, N)))
+        assert adj_c.shape == (2, 3, 3)
+        assert h_c.shape == (2, 3, F)
+        assert mask_c.shape[0] == 2
+        # each padded slice matches the single-graph path
+        adj_s, h_s = op(graph.adjacency, Tensor(graph.features))
+        np.testing.assert_allclose(h_s.data, h_c.data[0], atol=1e-8)
+
+    @pytest.mark.parametrize("name", sorted(COARSENINGS))
+    def test_auxiliary_loss_is_none_or_scalar(self, rng, graph, name):
+        op = COARSENINGS[name](rng)
+        op.eval()
+        op(graph.adjacency, Tensor(graph.features))
+        aux = op.auxiliary_loss()
+        assert aux is None or np.ndim(aux.data) == 0
+
+    def test_diffpool_and_mincut_expose_auxiliary_losses(self, rng, graph):
+        for name in ("DiffPool", "MinCutPool"):
+            op = COARSENINGS[name](rng)
+            op.eval()
+            op(graph.adjacency, Tensor(graph.features))
+            assert op.auxiliary_loss() is not None, name
+
+
+class TestContractIsEnforcedOnSubclasses:
+    def test_bad_readout_shape_is_caught(self, rng, graph):
+        class Bad(Readout):
+            def __init__(self):
+                super().__init__()
+                self.out_features = F
+
+            def readout(self, adjacency, h):
+                return h  # 2-D: violates the contract
+
+        with pytest.raises(AssertionError, match="expected"):
+            Bad()(graph.adjacency, Tensor(graph.features))
+
+    def test_bad_coarsening_shape_is_caught(self, rng, graph):
+        class Bad(Coarsening):
+            def coarsen(self, adjacency, h):
+                return Tensor(np.zeros((2, 3))), h[:2]  # non-square A'
+
+        with pytest.raises(AssertionError, match="adjacency"):
+            Bad()(graph.adjacency, Tensor(graph.features))

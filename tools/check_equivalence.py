@@ -38,9 +38,7 @@ def _max_level_deviation(embedder, graphs) -> float:
     """Largest |loop - batched| entry across all per-level readouts."""
     embedder.eval()
     batch = pad_graphs(graphs)
-    levels_batched = embedder.embed_levels_batched(
-        batch.adjacency, Tensor(batch.features), batch.mask
-    )
+    levels_batched = embedder.embed_levels(batch)
     deviation = 0.0
     for i, g in enumerate(graphs):
         levels = embedder.embed_levels(g.adjacency, Tensor(g.features))
