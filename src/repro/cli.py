@@ -7,6 +7,8 @@ Runs the three downstream tasks and dataset statistics from the shell:
     python -m repro match --method GMN-HAP --nodes 30
     python -m repro similarity --method HAP --dataset AIDS
     python -m repro classify --method HAP --dataset MUTAG --save model.npz
+    python -m repro classify --checkpoint-dir runs/mutag --checkpoint-every 10
+    python -m repro classify --checkpoint-dir runs/mutag --resume auto
 """
 
 from __future__ import annotations
@@ -42,6 +44,46 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a structured JSONL run log (docs/observability.md)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write repro.ckpt/v1 training checkpoints (docs/checkpointing.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="also checkpoint every N optimizer steps (0: epoch boundaries only)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help="resume training from a checkpoint file, or from the newest "
+        "checkpoint in --checkpoint-dir with --resume auto",
+    )
+
+
+def _train_kwargs(args):
+    """Checkpoint/resume passthrough kwargs from the common CLI flags."""
+    resume = getattr(args, "resume", None)
+    if resume == "auto":
+        from repro.training import CheckpointManager
+
+        if not getattr(args, "checkpoint_dir", None):
+            raise SystemExit("--resume auto requires --checkpoint-dir")
+        resume = CheckpointManager(args.checkpoint_dir).latest()
+        if resume is None:
+            raise SystemExit(
+                f"--resume auto: no checkpoint found in {args.checkpoint_dir}"
+            )
+    return {
+        "checkpoint_dir": getattr(args, "checkpoint_dir", None),
+        "checkpoint_every": getattr(args, "checkpoint_every", 0),
+        "resume": resume,
+    }
 
 
 def _callbacks(args):
@@ -121,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
             hidden=args.hidden,
             lr=args.lr,
             callbacks=_callbacks(args),
+            **_train_kwargs(args),
         )
         print(f"{args.method} on {args.dataset}: test accuracy {result.accuracy:.2%}")
         if args.save:
@@ -142,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
             hidden=args.hidden,
             lr=args.lr,
             callbacks=_callbacks(args),
+            **_train_kwargs(args),
         )
         print(
             f"{args.method} matching at |V|={args.nodes}: "
@@ -160,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
             hidden=args.hidden,
             lr=args.lr,
             callbacks=_callbacks(args),
+            **_train_kwargs(args),
         )
         print(
             f"{args.method} similarity on {args.dataset}: "

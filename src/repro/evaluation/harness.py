@@ -93,13 +93,18 @@ def run_classification(
     cluster_sizes: tuple[int, ...] = (6, 1),
     test_size: int = 50,
     callbacks=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume=None,
     **model_kwargs,
 ) -> ClassificationResult:
     """Train and test one Table 3 cell (method x dataset).
 
     Like :func:`run_matching`, evaluation uses a dedicated test set of
     ``test_size`` freshly generated graphs so the metric resolution does
-    not depend on the training-set size.
+    not depend on the training-set size.  ``checkpoint_dir`` /
+    ``checkpoint_every`` / ``resume`` thread through to
+    :func:`repro.training.fit` (docs/checkpointing.md).
     """
     rng = np.random.default_rng(seed)
     graphs, dim, num_classes = prepare_dataset(dataset, num_graphs, rng)
@@ -115,7 +120,10 @@ def run_classification(
     # No early stopping: several datasets (notably MUTAG-like) sit on a
     # long loss plateau before the structural signal is picked up.  Best
     # validation weights are still restored after the final epoch.
-    config = TrainConfig(epochs=epochs, lr=lr)
+    config = TrainConfig(
+        epochs=epochs, lr=lr,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+    )
     fit(
         model,
         train,
@@ -123,6 +131,7 @@ def run_classification(
         config,
         val_metric=lambda: classification_accuracy(model, val),
         callbacks=callbacks,
+        resume=resume,
     )
     accuracy = classification_accuracy(model, test)
     return ClassificationResult(method, dataset, accuracy, model, test)
@@ -140,6 +149,9 @@ def run_matching(
     test_pairs: Sequence[MatchingPair] | None = None,
     test_size: int = 30,
     callbacks=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume=None,
     **model_kwargs,
 ) -> float:
     """Train one Table 4 / Table 7 cell and return test accuracy.
@@ -165,7 +177,10 @@ def run_matching(
         method, DEGREE_FEATURE_DIM, rng,
         hidden=hidden, cluster_sizes=cluster_sizes, **model_kwargs,
     )
-    config = TrainConfig(epochs=epochs, lr=lr)
+    config = TrainConfig(
+        epochs=epochs, lr=lr,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+    )
     fit(
         model,
         train,
@@ -173,6 +188,7 @@ def run_matching(
         config,
         val_metric=lambda: matching_accuracy(model, val),
         callbacks=callbacks,
+        resume=resume,
     )
     model.calibrate_threshold(val)
     return matching_accuracy(model, test)
@@ -239,6 +255,9 @@ def run_similarity(
     lr: float = 0.01,
     cluster_sizes: tuple[int, ...] = (4, 1),
     callbacks=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume=None,
     **model_kwargs,
 ) -> float:
     """Train one Fig. 5 / Table 5 similarity cell; returns triplet accuracy."""
@@ -247,8 +266,11 @@ def run_similarity(
     model = zoo.make_similarity(
         method, dim, rng, hidden=hidden, cluster_sizes=cluster_sizes, **model_kwargs
     )
-    config = TrainConfig(epochs=epochs, lr=lr)
-    fit(model, train, rng, config, callbacks=callbacks)
+    config = TrainConfig(
+        epochs=epochs, lr=lr,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+    )
+    fit(model, train, rng, config, callbacks=callbacks, resume=resume)
     return triplet_accuracy(model.predict_closer_to_right, test)
 
 

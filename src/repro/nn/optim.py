@@ -26,6 +26,40 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- persistence ---------------------------------------------------
+    # ``state_dict()`` returns {"type", "hyper", "slots"}: ``hyper`` is a
+    # JSON-able dict of scalar hyper-parameters and counters, ``slots``
+    # maps slot names (momentum buffers, Adam moments, ...) to lists of
+    # arrays aligned with ``self.parameters``.  The layout is consumed
+    # by :mod:`repro.training.checkpoint`.
+
+    def state_dict(self) -> dict:
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        raise NotImplementedError
+
+    def _check_state(self, state: dict) -> None:
+        """Shared validation for :meth:`load_state_dict`."""
+        kind = type(self).__name__
+        if state.get("type") != kind:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"cannot load into {kind}"
+            )
+        for name, arrays in state.get("slots", {}).items():
+            if len(arrays) != len(self.parameters):
+                raise ValueError(
+                    f"slot {name!r} holds {len(arrays)} arrays for "
+                    f"{len(self.parameters)} parameters"
+                )
+            for array, param in zip(arrays, self.parameters):
+                if array.shape != param.data.shape:
+                    raise ValueError(
+                        f"slot {name!r} shape {array.shape} does not match "
+                        f"parameter shape {param.data.shape}"
+                    )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -47,6 +81,19 @@ class SGD(Optimizer):
             else:
                 update = param.grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> dict:
+        return {
+            "type": "SGD",
+            "hyper": {"lr": self.lr, "momentum": self.momentum},
+            "slots": {"velocity": [v.copy() for v in self._velocity]},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_state(state)
+        self.lr = float(state["hyper"]["lr"])
+        self.momentum = float(state["hyper"]["momentum"])
+        self._velocity = [v.copy() for v in state["slots"]["velocity"]]
 
 
 class Adam(Optimizer):
@@ -86,3 +133,30 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "type": "Adam",
+            "hyper": {
+                "lr": self.lr,
+                "betas": [self.beta1, self.beta2],
+                "eps": self.eps,
+                "weight_decay": self.weight_decay,
+                "step": self._step,
+            },
+            "slots": {
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v],
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_state(state)
+        hyper = state["hyper"]
+        self.lr = float(hyper["lr"])
+        self.beta1, self.beta2 = (float(b) for b in hyper["betas"])
+        self.eps = float(hyper["eps"])
+        self.weight_decay = float(hyper["weight_decay"])
+        self._step = int(hyper["step"])
+        self._m = [m.copy() for m in state["slots"]["m"]]
+        self._v = [v.copy() for v in state["slots"]["v"]]

@@ -36,7 +36,12 @@ def save_module(module: Module, path: str | Path, metadata: dict | None = None) 
     arrays[_HEADER_KEY] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    # np.savez appends ".npz" to bare paths but not to open file handles;
+    # writing through a handle keeps the archive at exactly ``path``
+    # whatever its suffix (".ckpt", none, ...), so a later
+    # ``load_module(path)`` always finds it.
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
 
 
 def load_module(module: Module, path: str | Path) -> dict:
@@ -46,7 +51,15 @@ def load_module(module: Module, path: str | Path) -> dict:
     mismatches (delegated to ``Module.load_state_dict``).
     """
     path = Path(path)
-    with np.load(path if path.suffix else path.with_suffix(".npz")) as archive:
+    if not path.exists():
+        # archives written by older save_module versions went through
+        # np.savez, which appended ".npz" to suffix-less paths
+        legacy = path.with_name(path.name + ".npz")
+        if legacy.exists():
+            path = legacy
+        else:
+            raise FileNotFoundError(f"no model archive at {path}")
+    with np.load(path) as archive:
         if _HEADER_KEY not in archive:
             raise ValueError(f"{path} is not a repro model archive")
         header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))

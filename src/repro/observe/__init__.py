@@ -47,7 +47,9 @@ from repro.observe.callbacks import (
     MetricsLogger,
     RUN_LOG_SCHEMA,
     read_run_log,
+    stitch_run_logs,
     validate_run_log,
+    validate_stitched_steps,
 )
 
 __all__ = [
@@ -75,5 +77,7 @@ __all__ = [
     "MetricsLogger",
     "RUN_LOG_SCHEMA",
     "read_run_log",
+    "stitch_run_logs",
     "validate_run_log",
+    "validate_stitched_steps",
 ]

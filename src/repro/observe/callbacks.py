@@ -8,7 +8,9 @@ through a fixed event sequence::
         on_epoch_start(epoch)
         for each mini-batch:
             on_batch_end(epoch, step, loss, batch_size)
+            on_checkpoint(epoch, step, global_step, path)   # when due
         on_epoch_end(epoch, logs)       # logs: loss/val_metric/lr/epoch_time_s
+        on_checkpoint(epoch + 1, 0, global_step, path)      # epoch snapshot
     on_train_end(history)
 
 Ready-made callbacks: :class:`ConsoleLogger` (the old ``verbose``
@@ -52,6 +54,7 @@ RUN_LOG_SCHEMA: dict[str, tuple[str, ...]] = {
         "epoch_time_s",
     ),
     "batch_end": ("event", "time", "epoch", "step", "loss", "batch_size"),
+    "checkpoint": ("event", "time", "epoch", "step", "global_step", "path"),
     "train_end": ("event", "time", "epochs_run", "best_epoch", "best_metric"),
 }
 
@@ -71,6 +74,12 @@ class Callback:
         pass
 
     def on_epoch_end(self, epoch: int, logs: dict) -> None:  # pragma: no cover
+        pass
+
+    def on_checkpoint(
+        self, epoch: int, step: int, global_step: int, path
+    ) -> None:  # pragma: no cover - no-op
+        """A checkpoint was written; ``(epoch, step)`` is its resume position."""
         pass
 
     def on_train_end(self, history) -> None:  # pragma: no cover - no-op
@@ -101,6 +110,10 @@ class CallbackList(Callback):
     def on_epoch_end(self, epoch: int, logs: dict) -> None:
         for cb in self.callbacks:
             cb.on_epoch_end(epoch, logs)
+
+    def on_checkpoint(self, epoch: int, step: int, global_step: int, path) -> None:
+        for cb in self.callbacks:
+            cb.on_checkpoint(epoch, step, global_step, path)
 
     def on_train_end(self, history) -> None:
         for cb in self.callbacks:
@@ -148,6 +161,9 @@ class MetricsLogger(Callback):
             reg.histogram("train/epoch_time_s").observe(logs["epoch_time_s"])
         if logs.get("val_metric") is not None:
             reg.gauge("train/val_metric").set(logs["val_metric"])
+
+    def on_checkpoint(self, epoch: int, step: int, global_step: int, path) -> None:
+        self.registry.counter("train/checkpoints").inc()
 
 
 class JSONLLogger(Callback):
@@ -215,6 +231,18 @@ class JSONLLogger(Callback):
             }
         )
 
+    def on_checkpoint(self, epoch: int, step: int, global_step: int, path) -> None:
+        self._emit(
+            {
+                "event": "checkpoint",
+                "time": time.time(),
+                "epoch": epoch,
+                "step": step,
+                "global_step": global_step,
+                "path": str(path),
+            }
+        )
+
     def on_train_end(self, history) -> None:
         best_metric = history.best_metric
         if best_metric is not None and not math.isfinite(best_metric):
@@ -268,3 +296,72 @@ def validate_run_log(records: list[dict]) -> None:
         missing = [name for name in required if name not in record]
         if missing:
             raise ValueError(f"record {i} ({event}): missing fields {missing}")
+
+
+def _progress_key(record: dict) -> tuple | None:
+    """Position of a progress event within a run.
+
+    ``batch_end`` at step ``s`` means ``s + 1`` completed steps; a
+    ``checkpoint`` with resume position ``(e, s)`` sits between
+    ``batch_end(e, s - 1)`` and ``batch_end(e, s)``; ``epoch_end``
+    closes the epoch.  Non-progress events (``train_start`` /
+    ``train_end``) return None.
+    """
+    event = record.get("event")
+    if event == "batch_end":
+        return (record["epoch"], 0, record["step"] + 1, 0)
+    if event == "checkpoint":
+        return (record["epoch"], 0, record["step"], 1)
+    if event == "epoch_end":
+        return (record["epoch"], 1, 0, 0)
+    return None
+
+
+def stitch_run_logs(first: list[dict], second: list[dict]) -> list[dict]:
+    """Merge a crashed run's log with its resumed continuation.
+
+    ``second``'s earliest progress event marks the resume point; events
+    ``first`` logged at or past it (work redone after the restored
+    checkpoint) are dropped, and ``second``'s ``train_start`` header is
+    replaced by ``first``'s.  The result reads as one uninterrupted
+    run-log (validate with :func:`validate_stitched_steps`).
+    """
+    if not second:
+        return list(first)
+    resume_keys = [k for k in map(_progress_key, second) if k is not None]
+    if not resume_keys:
+        raise ValueError("resumed run log holds no progress events")
+    resume_point = min(resume_keys)
+    stitched = [r for r in first if r.get("event") == "train_start"]
+    stitched += [
+        r
+        for r in first
+        if (key := _progress_key(r)) is not None and key < resume_point
+    ]
+    stitched += [r for r in second if r.get("event") != "train_start"]
+    return stitched
+
+
+def validate_stitched_steps(records: list[dict]) -> None:
+    """Check that batch events cover each epoch exactly once.
+
+    Raises ``ValueError`` when any epoch's ``batch_end`` step indices
+    are not exactly ``0..n-1`` (a duplicated or skipped step across a
+    resume boundary), or when the logged epochs are not contiguous.
+    """
+    steps_by_epoch: dict[int, list[int]] = {}
+    for record in records:
+        if record.get("event") == "batch_end":
+            steps_by_epoch.setdefault(record["epoch"], []).append(record["step"])
+    if not steps_by_epoch:
+        raise ValueError("no batch_end events to validate (log_batches off?)")
+    epochs = sorted(steps_by_epoch)
+    if epochs != list(range(epochs[0], epochs[-1] + 1)):
+        raise ValueError(f"non-contiguous epochs in stitched log: {epochs}")
+    for epoch, steps in sorted(steps_by_epoch.items()):
+        expected = list(range(len(steps)))
+        if sorted(steps) != expected:
+            raise ValueError(
+                f"epoch {epoch}: batch steps {sorted(steps)} are not "
+                f"exactly {expected} (duplicated or skipped step)"
+            )

@@ -1,6 +1,13 @@
 """Training loops and evaluation metrics for the three tasks."""
 
-from repro.training.trainer import TrainConfig, fit
+from repro.training.trainer import TrainConfig, TrainHistory, fit
+from repro.training.checkpoint import (
+    CheckpointManager,
+    ResumeState,
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+)
 from repro.training.metrics import (
     classification_accuracy,
     matching_accuracy,
@@ -9,7 +16,13 @@ from repro.training.metrics import (
 
 __all__ = [
     "TrainConfig",
+    "TrainHistory",
     "fit",
+    "CheckpointManager",
+    "ResumeState",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_header",
     "classification_accuracy",
     "matching_accuracy",
     "triplet_accuracy",

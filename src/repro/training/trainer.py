@@ -4,6 +4,14 @@ All three tasks train the same way: shuffle examples, accumulate
 per-example losses into mini-batches, Adam step, optionally track a
 validation metric with early stopping and best-weight restoration
 (the paper's Adam + 8:1:1 protocol, Sec. 6.1.3).
+
+Runs are fault tolerant: with ``TrainConfig(checkpoint_dir=...)`` the
+loop snapshots its complete state (model, optimizer moments, RNG,
+shuffle order, loss accumulator, patience counters) through
+:mod:`repro.training.checkpoint`, and ``fit(..., resume=path)``
+continues an interrupted run bit-for-bit — the resumed run's final
+parameters, optimizer state and metric history match an uninterrupted
+run exactly (docs/checkpointing.md, tests/test_checkpoint_resume.py).
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -19,6 +28,7 @@ from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.observe.callbacks import Callback, CallbackList, ConsoleLogger
 from repro.observe.tracing import span
+from repro.training.checkpoint import CheckpointManager, load_checkpoint
 
 
 @dataclass
@@ -40,6 +50,15 @@ class TrainConfig:
     #: looping per-example losses; requires the model (or an explicit
     #: ``batch_loss_fn``) to expose a vectorised batch loss
     batched: bool = False
+    #: write ``repro.ckpt/v1`` checkpoints under this directory
+    #: (docs/checkpointing.md); None disables checkpointing
+    checkpoint_dir: str | None = None
+    #: additionally checkpoint every N optimizer steps (mid-epoch
+    #: snapshots); 0 checkpoints only at epoch boundaries
+    checkpoint_every: int = 0
+    #: rolling checkpoints to retain (``best.npz`` is always kept);
+    #: None keeps every checkpoint
+    checkpoint_keep: int | None = 3
 
 
 def clip_gradients(parameters, max_norm: float) -> float:
@@ -78,6 +97,7 @@ def fit(
     val_metric: Callable[[], float] | None = None,
     batch_loss_fn: Callable | None = None,
     callbacks: Sequence[Callback] | None = None,
+    resume: str | Path | None = None,
 ) -> TrainHistory:
     """Train ``model`` on ``examples``.
 
@@ -101,6 +121,13 @@ def fit(
         event stream (``on_train_start`` … ``on_train_end``); e.g.
         ``ConsoleLogger()`` for per-epoch printing or ``JSONLLogger``
         for structured run logs (docs/observability.md).
+    resume:
+        Path to a ``repro.ckpt/v1`` checkpoint.  Model parameters,
+        optimizer state and the state of ``rng`` are restored in place
+        and training continues from the recorded position.  For exact
+        replay ``rng`` must be the same generator object the model was
+        built with (the harness convention), so dropout/Gumbel draws
+        resume from the restored state too.
     """
     config = config or TrainConfig()
     if loss_fn is None:
@@ -118,18 +145,92 @@ def fit(
     history = TrainHistory()
     best_state = None
     stale = 0
+    start_epoch = 0
+    resume_step = 0
+    resume_order: np.ndarray | None = None
+    resume_epoch_loss = 0.0
+    global_step = 0
+
+    if resume is not None:
+        state = load_checkpoint(resume, model=model, optimizer=optimizer, rng=rng)
+        history.losses = state.losses
+        history.val_metrics = state.val_metrics
+        history.best_epoch = state.best_epoch
+        history.best_metric = state.best_metric
+        best_state = state.best_state
+        stale = state.stale
+        start_epoch = state.epoch
+        resume_step = state.step
+        resume_order = state.order
+        resume_epoch_loss = state.epoch_loss
+        global_step = state.global_step
+
+    manager = None
+    if config.checkpoint_dir is not None:
+        manager = CheckpointManager(
+            config.checkpoint_dir, keep_last=config.checkpoint_keep
+        )
+
+    def save_checkpoint_now(
+        epoch: int, step: int, order: np.ndarray | None, epoch_loss: float,
+        is_best: bool = False,
+    ) -> None:
+        path = manager.save(
+            epoch=epoch,
+            step=step,
+            is_best=is_best,
+            model=model,
+            optimizer=optimizer,
+            rng=rng,
+            config=config,
+            global_step=global_step,
+            epoch_loss=epoch_loss,
+            stale=stale,
+            order=order,
+            losses=history.losses,
+            val_metrics=history.val_metrics,
+            best_epoch=history.best_epoch,
+            best_metric=history.best_metric,
+            best_state=best_state,
+        )
+        events.on_checkpoint(epoch, step, global_step, path)
 
     events.on_train_start(model, config)
-    for epoch in range(config.epochs):
-        if config.lr_decay != 1.0 and epoch > 0 and epoch % config.lr_step == 0:
+    if manager is not None and resume is None:
+        save_checkpoint_now(0, 0, None, 0.0)
+    for epoch in range(start_epoch, config.epochs):
+        # only a resumed-from-a-finished-run checkpoint can start a
+        # loop iteration with early stopping already triggered
+        if (
+            val_metric is not None
+            and config.patience is not None
+            and stale > config.patience
+        ):
+            break
+        mid_epoch = epoch == start_epoch and resume_order is not None
+        if (
+            not mid_epoch  # a mid-epoch resume already applied this decay
+            and config.lr_decay != 1.0
+            and epoch > 0
+            and epoch % config.lr_step == 0
+        ):
             optimizer.lr *= config.lr_decay
         events.on_epoch_start(epoch)
         epoch_start = time.perf_counter()
         model.train()
-        order = rng.permutation(len(examples))
-        epoch_loss = 0.0
+        if mid_epoch:
+            order = resume_order
+            epoch_loss = resume_epoch_loss
+            first_step = resume_step
+        else:
+            order = rng.permutation(len(examples))
+            epoch_loss = 0.0
+            first_step = 0
+        starts = range(0, len(order), config.batch_size)
         with span("epoch"):
-            for step, start in enumerate(range(0, len(order), config.batch_size)):
+            for step, start in enumerate(starts):
+                if step < first_step:
+                    continue
                 batch = order[start : start + config.batch_size]
                 with span("step"):
                     optimizer.zero_grad()
@@ -159,10 +260,18 @@ def fit(
                         optimizer.step()
                 batch_loss = float(total.data)
                 epoch_loss += batch_loss * len(batch)
+                global_step += 1
                 events.on_batch_end(epoch, step, batch_loss, len(batch))
+                if (
+                    manager is not None
+                    and config.checkpoint_every > 0
+                    and global_step % config.checkpoint_every == 0
+                ):
+                    save_checkpoint_now(epoch, step + 1, order, epoch_loss)
         history.losses.append(epoch_loss / max(len(examples), 1))
 
         metric = None
+        improved = False
         if val_metric is not None:
             model.eval()
             with span("validation"):
@@ -173,6 +282,7 @@ def fit(
                 history.best_epoch = epoch
                 best_state = model.state_dict()
                 stale = 0
+                improved = True
             else:
                 stale += 1
         events.on_epoch_end(
@@ -184,6 +294,10 @@ def fit(
                 "epoch_time_s": time.perf_counter() - epoch_start,
             },
         )
+        if manager is not None:
+            # resume position "start of epoch+1": decay and shuffle for
+            # the next epoch replay from the restored rng/lr on resume
+            save_checkpoint_now(epoch + 1, 0, None, 0.0, is_best=improved)
         if (
             val_metric is not None
             and config.patience is not None

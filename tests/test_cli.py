@@ -67,6 +67,31 @@ class TestCommands:
         assert code == 0
         assert "triplet accuracy" in capsys.readouterr().out
 
+    @pytest.mark.checkpoint
+    def test_classify_checkpoints_and_resumes(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        base = [
+            "classify", "--method", "SumPool", "--dataset", "IMDB-B",
+            "--num-graphs", "24", "--epochs", "2",
+            "--checkpoint-dir", str(ckpt_dir),
+        ]
+        assert main(base + ["--checkpoint-every", "2"]) == 0
+        written = list(ckpt_dir.glob("ckpt-*.npz"))
+        assert written, "CLI run wrote no checkpoints"
+        assert main(base + ["--resume", "auto"]) == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_resume_auto_without_dir_exits(self):
+        with pytest.raises(SystemExit, match="requires --checkpoint-dir"):
+            main(["classify", "--method", "SumPool", "--dataset", "IMDB-B",
+                  "--num-graphs", "12", "--epochs", "1", "--resume", "auto"])
+
+    def test_resume_auto_with_empty_dir_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint found"):
+            main(["classify", "--method", "SumPool", "--dataset", "IMDB-B",
+                  "--num-graphs", "12", "--epochs", "1",
+                  "--checkpoint-dir", str(tmp_path / "empty"), "--resume", "auto"])
+
     def test_crossval_runs(self, capsys):
         code = main(
             ["crossval", "--method", "SumPool", "--dataset", "IMDB-B",

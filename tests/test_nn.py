@@ -183,6 +183,77 @@ class TestOptimizers:
         np.testing.assert_allclose(w.data, 1.0)
 
 
+class TestOptimizerStateDict:
+    def _trained_adam(self):
+        w = Parameter(np.array([2.0, -1.0]))
+        opt = Adam([w], lr=0.05, betas=(0.8, 0.95), eps=1e-9, weight_decay=0.1)
+        for _ in range(3):
+            opt.zero_grad()
+            (w * w).sum().backward()
+            opt.step()
+        return w, opt
+
+    def test_adam_roundtrip_continues_identically(self):
+        w, opt = self._trained_adam()
+        state = opt.state_dict()
+
+        w2 = Parameter(w.data.copy())
+        opt2 = Adam([w2], lr=0.9)  # different hyper-params, all overwritten
+        opt2.load_state_dict(state)
+        assert (opt2.lr, opt2.beta1, opt2.beta2) == (0.05, 0.8, 0.95)
+        assert (opt2.eps, opt2.weight_decay, opt2._step) == (1e-9, 0.1, 3)
+
+        for optimizer, param in ((opt, w), (opt2, w2)):
+            optimizer.zero_grad()
+            (param * param).sum().backward()
+            optimizer.step()
+        assert w.data.tobytes() == w2.data.tobytes()
+
+    def test_state_dict_snapshots_are_copies(self):
+        w, opt = self._trained_adam()
+        state = opt.state_dict()
+        moment_before = state["slots"]["m"][0].copy()
+        opt.zero_grad()
+        (w * w).sum().backward()
+        opt.step()
+        np.testing.assert_array_equal(state["slots"]["m"][0], moment_before)
+
+    def test_sgd_roundtrip_preserves_velocity(self):
+        w = Parameter(np.array(5.0))
+        opt = SGD([w], lr=0.02, momentum=0.9)
+        for _ in range(4):
+            opt.zero_grad()
+            (w * w).backward()
+            opt.step()
+        w2 = Parameter(w.data.copy())
+        opt2 = SGD([w2], lr=0.5)
+        opt2.load_state_dict(opt.state_dict())
+        assert opt2.momentum == 0.9 and opt2.lr == 0.02
+        assert opt2._velocity[0].tobytes() == opt._velocity[0].tobytes()
+
+    def test_cross_optimizer_state_rejected(self):
+        w, opt = self._trained_adam()
+        sgd = SGD([Parameter(w.data.copy())], lr=0.1)
+        with pytest.raises(ValueError, match="cannot load into SGD"):
+            sgd.load_state_dict(opt.state_dict())
+
+    def test_mismatched_slot_shapes_rejected(self):
+        w, opt = self._trained_adam()
+        state = opt.state_dict()
+        state["slots"]["m"][0] = np.zeros(7)
+        opt2 = Adam([Parameter(w.data.copy())])
+        with pytest.raises(ValueError, match="does not match"):
+            opt2.load_state_dict(state)
+
+    def test_mismatched_slot_count_rejected(self):
+        w, opt = self._trained_adam()
+        state = opt.state_dict()
+        state["slots"]["v"] = []
+        opt2 = Adam([Parameter(w.data.copy())])
+        with pytest.raises(ValueError, match="holds 0 arrays"):
+            opt2.load_state_dict(state)
+
+
 class TestLosses:
     def test_cross_entropy_matches_manual(self, rng):
         logits = Tensor(rng.normal(size=5), requires_grad=True)

@@ -383,3 +383,91 @@ class TestRunLog:
             validate_run_log([header, {"event": "epoch_end", "time": 0.0}])
         with pytest.raises(ValueError, match="schema"):
             validate_run_log([dict(header, schema="repro.runlog/v0")])
+
+
+@pytest.mark.checkpoint
+class TestCheckpointEvents:
+    def test_on_checkpoint_reaches_every_logger(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        reg = MetricsRegistry()
+        model = _Quadratic()
+        fit(
+            model,
+            [1.0, 1.0],
+            np.random.default_rng(0),
+            TrainConfig(
+                epochs=2, batch_size=2,
+                checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=1,
+            ),
+            callbacks=[JSONLLogger(path, log_batches=True), MetricsLogger(reg)],
+        )
+        records = read_run_log(path)
+        validate_run_log(records)  # checkpoint events satisfy the schema
+        checkpoints = [r for r in records if r["event"] == "checkpoint"]
+        # initial + one per step (2) + one per epoch boundary (2)
+        assert len(checkpoints) == 5
+        assert all(
+            r["path"].endswith(".npz") and r["global_step"] >= 0
+            for r in checkpoints
+        )
+        assert reg.snapshot()["counters"]["train/checkpoints"] == 5.0
+
+
+class TestStitchRunLogs:
+    HEADER = {
+        "event": "train_start", "schema": SCHEMA_VERSION, "time": 0.0,
+        "epochs": 2, "lr": 0.01, "batch_size": 2, "batched": False,
+        "num_parameters": 1,
+    }
+
+    @staticmethod
+    def _batch(epoch, step):
+        return {"event": "batch_end", "time": 0.0, "epoch": epoch,
+                "step": step, "loss": 1.0, "batch_size": 2}
+
+    @staticmethod
+    def _ckpt(epoch, step):
+        return {"event": "checkpoint", "time": 0.0, "epoch": epoch,
+                "step": step, "global_step": 0, "path": "x.npz"}
+
+    def test_redone_work_from_the_crashed_run_is_dropped(self):
+        from repro.observe import stitch_run_logs, validate_stitched_steps
+
+        crashed = [
+            self.HEADER,
+            self._batch(0, 0), self._ckpt(0, 1),
+            self._batch(0, 1),  # crashed here, after the step-1 checkpoint
+        ]
+        resumed = [
+            dict(self.HEADER),
+            self._batch(0, 1),  # redoes step 1 from the checkpoint
+            {"event": "epoch_end", "time": 0.0, "epoch": 0, "loss": 1.0,
+             "val_metric": None, "lr": 0.01, "epoch_time_s": 0.0},
+            {"event": "train_end", "time": 0.0, "epochs_run": 1,
+             "best_epoch": -1, "best_metric": None},
+        ]
+        stitched = stitch_run_logs(crashed, resumed)
+        validate_run_log(stitched)
+        validate_stitched_steps(stitched)
+        events = [(r["event"], r.get("step")) for r in stitched]
+        assert events == [
+            ("train_start", None),
+            ("batch_end", 0), ("checkpoint", 1),
+            ("batch_end", 1), ("epoch_end", None), ("train_end", None),
+        ]
+
+    def test_duplicated_and_skipped_steps_are_caught(self):
+        from repro.observe import validate_stitched_steps
+
+        base = [self.HEADER, self._batch(0, 0), self._batch(0, 1)]
+        validate_stitched_steps(base)
+        with pytest.raises(ValueError, match="duplicated or skipped"):
+            validate_stitched_steps(base + [self._batch(0, 1)])
+        with pytest.raises(ValueError, match="duplicated or skipped"):
+            validate_stitched_steps([self.HEADER, self._batch(0, 0),
+                                     self._batch(0, 2)])
+        with pytest.raises(ValueError, match="non-contiguous epochs"):
+            validate_stitched_steps([self.HEADER, self._batch(0, 0),
+                                     self._batch(2, 0)])
+        with pytest.raises(ValueError, match="no batch_end"):
+            validate_stitched_steps([self.HEADER])

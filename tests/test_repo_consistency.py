@@ -1,5 +1,7 @@
 """Repository self-consistency: docs, benchmarks and code agree."""
 
+import re
+import tomllib
 from pathlib import Path
 
 import pytest
@@ -24,8 +26,47 @@ class TestReadmeReferences:
 
     def test_docs_exist(self):
         for doc in ("api.md", "datasets.md", "reproducing.md",
-                    "design_notes.md", "tutorial_custom_pooling.md"):
+                    "design_notes.md", "tutorial_custom_pooling.md",
+                    "batching.md", "observability.md", "checkpointing.md"):
             assert (REPO / "docs" / doc).is_file(), doc
+
+
+class TestPytestMarkers:
+    """Every custom marker used in the suite is registered, so a typo'd
+    or unregistered marker fails tier-1 (pytest's own --strict-markers
+    only fires for the files a given run collects)."""
+
+    # markers pytest ships with; everything else must be registered
+    BUILTIN = {
+        "parametrize", "skip", "skipif", "xfail",
+        "usefixtures", "filterwarnings",
+    }
+
+    @staticmethod
+    def _registered_markers() -> set[str]:
+        with (REPO / "pyproject.toml").open("rb") as fh:
+            config = tomllib.load(fh)
+        lines = config["tool"]["pytest"]["ini_options"]["markers"]
+        return {line.split(":")[0].strip() for line in lines}
+
+    @staticmethod
+    def _used_markers() -> set[str]:
+        used = set()
+        for path in sorted((REPO / "tests").glob("test_*.py")) + sorted(
+            (REPO / "benchmarks").glob("test_*.py")
+        ):
+            used.update(re.findall(r"pytest\.mark\.(\w+)", path.read_text()))
+        return used
+
+    def test_every_used_marker_is_registered(self):
+        unregistered = self._used_markers() - self.BUILTIN - self._registered_markers()
+        assert not unregistered, (
+            f"markers used but not registered in pyproject.toml: "
+            f"{sorted(unregistered)}"
+        )
+
+    def test_new_suite_markers_registered(self):
+        assert {"checkpoint", "faultinject"} <= self._registered_markers()
 
 
 class TestDesignDocCoverage:

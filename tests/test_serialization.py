@@ -55,3 +55,35 @@ class TestSaveLoad:
         np.savez(path, junk=np.zeros(3))
         with pytest.raises(ValueError):
             load_module(Linear(2, 2, rng), path)
+
+
+class TestPathHandling:
+    """save/load agree on the archive path whatever its suffix.
+
+    Regression: np.savez used to append ".npz" on save, but load_module
+    only compensated for suffix-less paths, so ``save_module("m.ckpt")``
+    followed by ``load_module("m.ckpt")`` failed.
+    """
+
+    @pytest.mark.parametrize("name", ["m.ckpt", "model", "weights.npz", "a.b.c"])
+    def test_roundtrip_at_exact_path(self, rng, tmp_path, name):
+        lin = Linear(4, 3, rng)
+        path = tmp_path / name
+        save_module(lin, path)
+        assert path.is_file(), "archive must land at exactly the given path"
+        fresh = Linear(4, 3, np.random.default_rng(999))
+        load_module(fresh, path)
+        np.testing.assert_array_equal(fresh.weight.data, lin.weight.data)
+
+    def test_legacy_npz_appended_archives_still_load(self, rng, tmp_path):
+        # archives written by the old save_module ended up at
+        # "<path>.npz"; load_module must keep finding them
+        lin = Linear(3, 2, rng)
+        save_module(lin, tmp_path / "old.ckpt.npz")
+        fresh = Linear(3, 2, np.random.default_rng(999))
+        load_module(fresh, tmp_path / "old.ckpt")
+        np.testing.assert_array_equal(fresh.weight.data, lin.weight.data)
+
+    def test_missing_archive_raises_file_not_found(self, rng, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no model archive"):
+            load_module(Linear(2, 2, rng), tmp_path / "absent.npz")
