@@ -1,0 +1,82 @@
+"""Parallel cross-validation speedup vs the serial reference.
+
+Runs one small cross-validation serially and through the
+:mod:`repro.parallel` worker pool, asserting the engine's contract
+(identical accuracies) and recording wall-clock speedup, parallel
+efficiency and the dataset-cache hit pattern.  The regression *gate*
+for these numbers is ``tools/bench_gate.py`` against
+``results/bench_baseline.json``; this benchmark records the richer
+per-run statistics.
+
+Speedup depends on core count — on a single-core machine the spawn
+overhead makes the parallel run *slower*, which is expected and why
+the assertion here is on determinism, not on speedup (see
+docs/parallelism.md).  ``cpu_count`` travels with the persisted rows
+so readers can interpret the timings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import persist_rows, run_once
+from repro.data.cache import clear_memory_cache
+from repro.evaluation.crossval import cross_validate_classification
+
+pytestmark = pytest.mark.bench
+
+METHOD, DATASET = "SumPool", "IMDB-B"
+WORKERS = (1, 2, 4)
+
+
+def test_parallel_crossval_speedup(benchmark, profile, tmp_path):
+    cv_kwargs = dict(
+        folds=4,
+        seed=0,
+        num_graphs=max(40, profile["num_graphs"] // 2),
+        epochs=max(4, profile["epochs"] // 3),
+        hidden=profile["hidden"],
+        cache_dir=tmp_path / "cache",
+    )
+
+    def experiment():
+        clear_memory_cache()
+        rows: dict[str, dict] = {}
+        reference = None
+        for n_workers in WORKERS:
+            start = time.perf_counter()
+            result = cross_validate_classification(
+                METHOD, DATASET, n_workers=n_workers, **cv_kwargs
+            )
+            wall_s = time.perf_counter() - start
+            if reference is None:
+                reference = result.fold_accuracies
+                serial_s = wall_s
+            # the engine's contract: scheduling never changes results
+            assert result.fold_accuracies == reference, n_workers
+            run = result.pool_run
+            rows[f"workers_{n_workers}"] = {
+                "wall_s": round(wall_s, 4),
+                "busy_s": round(run.busy_time_s, 4),
+                "efficiency": round(run.efficiency, 4),
+                "speedup_vs_serial": round(serial_s / wall_s, 4),
+                "mean_accuracy": round(result.mean, 4),
+            }
+        rows["environment"] = {
+            "cpu_count": os.cpu_count(),
+            "method": METHOD,
+            "dataset": DATASET,
+            **{
+                k: v for k, v in cv_kwargs.items()
+                if isinstance(v, (int, float, str))
+            },
+        }
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    persist_rows("parallel_speedup", rows)
+    for name, row in rows.items():
+        print(name, row)

@@ -21,6 +21,7 @@ from repro.data.datasets import (
 )
 from repro.data.attributed import ATTRIBUTE_DIM, make_attributed_like
 from repro.data.batching import PaddedBatch, iter_padded_batches, pad_graphs
+from repro.data.cache import DatasetCache, clear_memory_cache, load_dataset_cached
 from repro.data.io import load_graphs, save_graphs
 from repro.data.matching import MatchingPair, make_matching_dataset
 from repro.data.perturb import add_edges, drop_edges, drop_nodes, noise_features
@@ -42,6 +43,9 @@ __all__ = [
     "make_proteins_like",
     "make_ptc_like",
     "ATTRIBUTE_DIM",
+    "DatasetCache",
+    "clear_memory_cache",
+    "load_dataset_cached",
     "PaddedBatch",
     "iter_padded_batches",
     "pad_graphs",

@@ -1,0 +1,164 @@
+"""On-disk dataset cache for parallel workers (docs/parallelism.md).
+
+Synthetic datasets are deterministic functions of ``(builder name,
+num_graphs, seed)``, so regenerating them in every worker process is
+pure waste — COLLAB-sized builders dominate small training runs.  This
+module caches the *raw* builder output on disk under that key; feature
+encodings are attached after load (they are deterministic and cheap).
+
+Guarantees:
+
+- **Bitwise-stable round trips.**  A cache hit returns graphs with
+  adjacency, node labels, features and class labels identical to what
+  the builder produced (``repro.data.io`` archives).
+- **Atomic writes.**  Archives are serialised to a ``*.tmp.npz``
+  sibling and moved into place with ``os.replace`` — the same crash
+  discipline as ``repro.training.checkpoint`` — so a worker killed
+  mid-write never leaves a half-written archive behind.
+- **Corruption recovery.**  An unreadable archive (truncated, bit
+  flipped) is treated as a miss: the dataset is rebuilt from its seed
+  and the archive rewritten.
+
+A process-local memo sits in front of the disk layer so serial
+cross-validation touches the builder exactly once per dataset.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import DATASET_BUILDERS, NUM_ATOM_TYPES
+from repro.data.encoding import (
+    attach_constant_features,
+    attach_degree_features,
+    attach_label_features,
+)
+from repro.data.io import load_graphs, save_graphs
+from repro.graph.graph import Graph
+
+#: bumped when builders or the archive layout change incompatibly
+CACHE_VERSION = 1
+
+#: feature dimensions matching repro.evaluation.harness
+DEGREE_FEATURE_DIM = 16
+CONSTANT_FEATURE_DIM = 4
+
+#: indirection point mirroring repro.training.checkpoint._replace so
+#: fault-injection tests can crash the atomic rename
+_replace = os.replace
+
+#: process-local memo: (name, num_graphs, seed) -> raw graphs
+_MEMO: dict[tuple[str, int, int], list[Graph]] = {}
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process memo (tests / long-lived services)."""
+    _MEMO.clear()
+
+
+def cache_key(name: str, num_graphs: int, seed: int) -> str:
+    """Human-readable archive stem for one dataset configuration."""
+    return f"{name}_n{num_graphs}_s{seed}_v{CACHE_VERSION}"
+
+
+class DatasetCache:
+    """Disk-backed get-or-build store for synthetic datasets.
+
+    ``cache_dir=None`` disables the disk layer (memo only), which keeps
+    every call site able to run in read-only environments.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    def path_for(self, name: str, num_graphs: int, seed: int) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{cache_key(name, num_graphs, seed)}.npz"
+
+    def get_or_build(self, name: str, num_graphs: int, seed: int) -> list[Graph]:
+        """Return the raw (feature-free) graphs for one configuration."""
+        if name not in DATASET_BUILDERS:
+            raise KeyError(
+                f"unknown dataset {name!r}; options: {sorted(DATASET_BUILDERS)}"
+            )
+        from repro.observe.metrics import get_registry
+
+        registry = get_registry()
+        memo_key = (name, int(num_graphs), int(seed))
+        if memo_key in _MEMO:
+            registry.counter("data_cache/hit_memory").inc()
+            return _MEMO[memo_key]
+
+        path = self.path_for(name, num_graphs, seed)
+        if path is not None and path.exists():
+            try:
+                graphs, _ = load_graphs(path)
+            except Exception:
+                # Truncated or bit-flipped archive: fall through to a
+                # rebuild, which rewrites the file atomically.
+                registry.counter("data_cache/corrupt").inc()
+            else:
+                registry.counter("data_cache/hit_disk").inc()
+                _MEMO[memo_key] = graphs
+                return graphs
+
+        registry.counter("data_cache/miss").inc()
+        builder, _, _ = DATASET_BUILDERS[name]
+        graphs = builder(num_graphs, np.random.default_rng(seed))
+        if path is not None:
+            self._write_atomic(graphs, path, name)
+        _MEMO[memo_key] = graphs
+        return graphs
+
+    @staticmethod
+    def _write_atomic(graphs: list[Graph], path: Path, name: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp.npz")
+        save_graphs(graphs, tmp, name=name)
+        _replace(tmp, path)
+
+
+def attach_dataset_features(
+    graphs: list[Graph], encoding: str
+) -> tuple[list[Graph], int]:
+    """Attach the standard feature encoding; returns ``(graphs, dim)``.
+
+    Deterministic (no RNG), so it is applied *after* the cache layer —
+    archives store raw builder output only.
+    """
+    if encoding == "degree":
+        return [attach_degree_features(g, DEGREE_FEATURE_DIM) for g in graphs], (
+            DEGREE_FEATURE_DIM
+        )
+    if encoding == "label":
+        return [attach_label_features(g, NUM_ATOM_TYPES) for g in graphs], (
+            NUM_ATOM_TYPES
+        )
+    return [attach_constant_features(g, CONSTANT_FEATURE_DIM) for g in graphs], (
+        CONSTANT_FEATURE_DIM
+    )
+
+
+def load_dataset_cached(
+    name: str,
+    num_graphs: int,
+    seed: int,
+    cache_dir: str | Path | None = None,
+) -> tuple[list[Graph], int, int | None]:
+    """Cached counterpart of :func:`repro.evaluation.harness.prepare_dataset`.
+
+    Generation is keyed by ``seed`` alone (an isolated
+    ``default_rng(seed)`` stream), so the result is identical whether
+    the graphs came from the builder, the memo, or a disk archive —
+    the property the parallel determinism suite locks down.
+
+    Returns ``(graphs_with_features, feature_dim, num_classes)``.
+    """
+    raw = DatasetCache(cache_dir).get_or_build(name, num_graphs, seed)
+    _, encoding, num_classes = DATASET_BUILDERS[name]
+    graphs, dim = attach_dataset_features(raw, encoding)
+    return graphs, dim, num_classes

@@ -2,13 +2,19 @@
 
 from repro.evaluation.tsne import tsne
 from repro.evaluation.separability import silhouette_score
-from repro.evaluation.crossval import CVResult, cross_validate_classification
+from repro.evaluation.crossval import (
+    CVResult,
+    FoldTask,
+    cross_validate_classification,
+    make_fold_tasks,
+)
 from repro.evaluation.learning_curves import LearningCurve, learning_curve
 from repro.evaluation.reports import load_rows, save_rows, to_markdown
 from repro.evaluation.harness import (
     ClassificationResult,
     format_table,
     run_classification,
+    run_experiment_grid,
     run_matching,
     run_similarity,
     run_tsne_study,
@@ -18,9 +24,12 @@ __all__ = [
     "tsne",
     "silhouette_score",
     "CVResult",
+    "FoldTask",
     "LearningCurve",
     "learning_curve",
     "cross_validate_classification",
+    "make_fold_tasks",
+    "run_experiment_grid",
     "load_rows",
     "save_rows",
     "to_markdown",

@@ -6,19 +6,42 @@ module provides the full protocol for anyone who wants error bars:
 
     result = cross_validate_classification("HAP", "MUTAG", folds=5)
     print(result.mean, "+/-", result.std)
+
+Folds are embarrassingly parallel, and ``n_workers`` fans them out
+across processes through :mod:`repro.parallel` with **bitwise-identical
+results**: every fold trains from its own
+``numpy.random.SeedSequence``-spawned stream and loads its dataset
+through :mod:`repro.data.cache`, so accuracies are a pure function of
+``(method, dataset, folds, seed, hyper-parameters)`` — never of worker
+count or scheduling order (tests/test_parallel_determinism.py,
+docs/parallelism.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.data.cache import load_dataset_cached
 from repro.data.splits import stratified_k_fold
-from repro.evaluation.harness import prepare_dataset
 from repro.models import zoo
+from repro.parallel import (
+    PoolRun,
+    WorkerPool,
+    merge_worker_logs,
+    spawn_task_seeds,
+    task_log_path,
+    write_merged_log,
+)
 from repro.training.metrics import classification_accuracy
 from repro.training.trainer import TrainConfig, fit
+
+#: stream tags mixed into the user seed so dataset generation, fold
+#: splitting and fold training draw from unrelated RNG streams
+_SPLIT_STREAM = 1
+_FOLD_STREAM = 2
 
 
 @dataclass
@@ -45,6 +68,110 @@ class CVResult:
         )
 
 
+@dataclass
+class FoldTask:
+    """Self-contained description of one cross-validation fold.
+
+    Everything a worker needs travels in this (picklable) payload:
+    the dataset key for :func:`repro.data.cache.load_dataset_cached`,
+    the fold's train/test indices, its spawned seed sequence and the
+    training hyper-parameters.  ``run_log`` points at the fold's
+    JSONL run-log file when run logging is enabled.
+    """
+
+    method: str
+    dataset: str
+    num_graphs: int
+    data_seed: int
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+    seed_seq: np.random.SeedSequence
+    epochs: int
+    hidden: int
+    lr: float
+    cluster_sizes: tuple[int, ...]
+    cache_dir: str | None = None
+    run_log: str | None = None
+    model_kwargs: dict = field(default_factory=dict)
+
+
+def run_fold_task(task: FoldTask) -> float:
+    """Train and score one fold (module-level: spawn-safe pool target)."""
+    graphs, dim, num_classes = load_dataset_cached(
+        task.dataset, task.num_graphs, task.data_seed, task.cache_dir
+    )
+    fold_rng = np.random.default_rng(task.seed_seq)
+    model = zoo.make_classifier(
+        task.method, dim, num_classes, fold_rng,
+        hidden=task.hidden, cluster_sizes=task.cluster_sizes,
+        **task.model_kwargs,
+    )
+    train = [graphs[i] for i in task.train_idx]
+    test = [graphs[i] for i in task.test_idx]
+    callbacks = None
+    if task.run_log is not None:
+        from repro.observe import JSONLLogger
+
+        callbacks = [JSONLLogger(task.run_log, log_batches=True)]
+    fit(
+        model, train, fold_rng,
+        TrainConfig(epochs=task.epochs, lr=task.lr),
+        callbacks=callbacks,
+    )
+    return classification_accuracy(model, test)
+
+
+def make_fold_tasks(
+    method: str,
+    dataset: str,
+    folds: int = 5,
+    seed: int = 0,
+    num_graphs: int = 120,
+    epochs: int = 25,
+    hidden: int = 16,
+    lr: float = 0.01,
+    cluster_sizes: tuple[int, ...] = (6, 1),
+    cache_dir: str | Path | None = None,
+    run_log_dir: str | Path | None = None,
+    **model_kwargs,
+) -> list[FoldTask]:
+    """Build the deterministic task list behind one cross-validation."""
+    graphs, _, num_classes = load_dataset_cached(
+        dataset, num_graphs, seed, cache_dir
+    )
+    if num_classes is None:
+        raise ValueError(f"{dataset} is a GED dataset, not a classification one")
+    labels = [g.label for g in graphs]
+    split_rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed), _SPLIT_STREAM])
+    )
+    splits = stratified_k_fold(labels, folds, split_rng)
+    fold_seeds = spawn_task_seeds(seed, folds, stream=_FOLD_STREAM)
+    return [
+        FoldTask(
+            method=method,
+            dataset=dataset,
+            num_graphs=num_graphs,
+            data_seed=seed,
+            train_idx=train_idx,
+            test_idx=test_idx,
+            seed_seq=fold_seeds[fold],
+            epochs=epochs,
+            hidden=hidden,
+            lr=lr,
+            cluster_sizes=tuple(cluster_sizes),
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            run_log=(
+                str(task_log_path(run_log_dir, fold))
+                if run_log_dir is not None
+                else None
+            ),
+            model_kwargs=model_kwargs,
+        )
+        for fold, (train_idx, test_idx) in enumerate(splits)
+    ]
+
+
 def cross_validate_classification(
     method: str,
     dataset: str,
@@ -55,25 +182,32 @@ def cross_validate_classification(
     hidden: int = 16,
     lr: float = 0.01,
     cluster_sizes: tuple[int, ...] = (6, 1),
+    n_workers: int = 1,
+    cache_dir: str | Path | None = None,
+    run_log_dir: str | Path | None = None,
     **model_kwargs,
 ) -> CVResult:
-    """Stratified k-fold cross-validated accuracy for one method."""
-    rng = np.random.default_rng(seed)
-    graphs, dim, num_classes = prepare_dataset(dataset, num_graphs, rng)
-    if num_classes is None:
-        raise ValueError(f"{dataset} is a GED dataset, not a classification one")
-    labels = [g.label for g in graphs]
-    accuracies = []
-    for fold, (train_idx, test_idx) in enumerate(
-        stratified_k_fold(labels, folds, rng)
-    ):
-        fold_rng = np.random.default_rng(seed + 1000 + fold)
-        model = zoo.make_classifier(
-            method, dim, num_classes, fold_rng,
-            hidden=hidden, cluster_sizes=cluster_sizes, **model_kwargs,
-        )
-        train = [graphs[i] for i in train_idx]
-        test = [graphs[i] for i in test_idx]
-        fit(model, train, fold_rng, TrainConfig(epochs=epochs, lr=lr))
-        accuracies.append(classification_accuracy(model, test))
-    return CVResult(method, dataset, accuracies)
+    """Stratified k-fold cross-validated accuracy for one method.
+
+    ``n_workers > 1`` trains folds in parallel worker processes with
+    results identical to ``n_workers=1``; ``None`` auto-detects the
+    core count.  ``cache_dir`` enables the on-disk dataset cache shared
+    by the workers; ``run_log_dir`` writes one JSONL run-log per fold
+    plus a deterministic ``merged.jsonl``.  The :class:`PoolRun` with
+    per-fold timings is attached as ``result.pool_run``.
+    """
+    tasks = make_fold_tasks(
+        method, dataset, folds=folds, seed=seed, num_graphs=num_graphs,
+        epochs=epochs, hidden=hidden, lr=lr, cluster_sizes=cluster_sizes,
+        cache_dir=cache_dir, run_log_dir=run_log_dir, **model_kwargs,
+    )
+    if run_log_dir is not None:
+        Path(run_log_dir).mkdir(parents=True, exist_ok=True)
+    with WorkerPool(n_workers) as pool:
+        run: PoolRun = pool.run(run_fold_task, tasks)
+    if run_log_dir is not None:
+        merged = merge_worker_logs(run_log_dir)
+        write_merged_log(merged, Path(run_log_dir) / "merged.jsonl")
+    result = CVResult(method, dataset, [float(acc) for acc in run.results])
+    result.pool_run = run
+    return result

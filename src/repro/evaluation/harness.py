@@ -15,6 +15,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.datasets import DATASET_BUILDERS
+from repro.data.cache import (
+    CONSTANT_FEATURE_DIM,
+    DEGREE_FEATURE_DIM,
+    attach_dataset_features,
+)
 from repro.data.encoding import (
     attach_constant_features,
     attach_degree_features,
@@ -35,30 +40,21 @@ from repro.training.metrics import (
 )
 from repro.training.trainer import TrainConfig, fit
 
-DEGREE_FEATURE_DIM = 16
-CONSTANT_FEATURE_DIM = 4
-
 
 def prepare_dataset(
     name: str, num_graphs: int, rng: np.random.Generator
 ) -> tuple[list[Graph], int, int | None]:
     """Generate a named dataset with features attached.
 
-    Returns ``(graphs, feature_dim, num_classes)``.
+    Returns ``(graphs, feature_dim, num_classes)``.  The builder draws
+    from the caller's ``rng`` (its stream advances); for a seed-keyed,
+    cacheable variant see :func:`repro.data.cache.load_dataset_cached`.
     """
     if name not in DATASET_BUILDERS:
         raise KeyError(f"unknown dataset {name!r}; options: {sorted(DATASET_BUILDERS)}")
     builder, encoding, num_classes = DATASET_BUILDERS[name]
     graphs = builder(num_graphs, rng)
-    if encoding == "degree":
-        graphs = [attach_degree_features(g, DEGREE_FEATURE_DIM) for g in graphs]
-        dim = DEGREE_FEATURE_DIM
-    elif encoding == "label":
-        graphs = [attach_label_features(g, NUM_ATOM_TYPES) for g in graphs]
-        dim = NUM_ATOM_TYPES
-    else:
-        graphs = [attach_constant_features(g, CONSTANT_FEATURE_DIM) for g in graphs]
-        dim = CONSTANT_FEATURE_DIM
+    graphs, dim = attach_dataset_features(graphs, encoding)
     return graphs, dim, num_classes
 
 
@@ -335,6 +331,52 @@ def ged_triplet_accuracy(
         return left - right > 0
 
     return triplet_accuracy(closer_to_right, triplets)
+
+
+#: grid spec "task" -> runner; every runner returns a scalar metric
+_GRID_RUNNERS = {
+    "classification": lambda kwargs: run_classification(**kwargs).accuracy,
+    "matching": lambda kwargs: run_matching(**kwargs),
+    "similarity": lambda kwargs: run_similarity(**kwargs),
+}
+
+
+def run_grid_spec(spec: dict) -> dict:
+    """Run one experiment-grid cell (module-level: spawn-safe pool target).
+
+    ``spec`` holds ``task`` (``classification``/``matching``/
+    ``similarity``) plus the runner's keyword arguments; the result is
+    the spec echoed back with its scalar ``metric``.
+    """
+    spec = dict(spec)
+    task = spec.pop("task", None)
+    runner = _GRID_RUNNERS.get(task)
+    if runner is None:
+        raise KeyError(
+            f"unknown grid task {task!r}; options: {sorted(_GRID_RUNNERS)}"
+        )
+    metric = runner(spec)
+    return {"task": task, **spec, "metric": float(metric)}
+
+
+def run_experiment_grid(specs: Sequence[dict], n_workers: int = 1) -> list[dict]:
+    """Fan an experiment grid out across worker processes.
+
+    Each spec runs independently (own dataset, own model, own seed), so
+    the grid parallelises perfectly and results are identical to the
+    serial run — returned in spec order regardless of scheduling.
+    Specs must be picklable; see docs/parallelism.md.
+
+        rows = run_experiment_grid(
+            [{"task": "classification", "method": m, "dataset": "MUTAG"}
+             for m in ("HAP", "SumPool", "DiffPool")],
+            n_workers=3,
+        )
+    """
+    from repro.parallel import WorkerPool
+
+    with WorkerPool(n_workers) as pool:
+        return pool.map(run_grid_spec, list(specs))
 
 
 def run_tsne_study(

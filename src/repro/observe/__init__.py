@@ -27,6 +27,7 @@ from repro.observe.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_snapshots,
     set_registry,
 )
 from repro.observe.tracing import (
@@ -58,6 +59,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "merge_snapshots",
     "set_registry",
     "Span",
     "Timer",

@@ -134,6 +134,41 @@ class MetricsRegistry:
             self._instruments.clear()
 
 
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-worker registry snapshots into one aggregate view.
+
+    Counters and histogram counts/sums add across workers; histogram
+    min/max widen; gauges and histogram ``last`` are dropped when
+    workers disagree (there is no meaningful "last" across processes —
+    ``None`` marks the ambiguity rather than inventing an order).
+    Used by :class:`repro.parallel.PoolRun` (docs/parallelism.md).
+    """
+    out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0.0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            if name in out["gauges"] and out["gauges"][name] != value:
+                out["gauges"][name] = None
+            else:
+                out["gauges"][name] = value
+        for name, summary in snapshot.get("histograms", {}).items():
+            merged = out["histograms"].get(name)
+            if merged is None:
+                out["histograms"][name] = dict(summary)
+                continue
+            merged["count"] += summary["count"]
+            merged["sum"] += summary["sum"]
+            for key, pick in (("min", min), ("max", max)):
+                values = [v for v in (merged[key], summary[key]) if v is not None]
+                merged[key] = pick(values) if values else None
+            merged["mean"] = (
+                merged["sum"] / merged["count"] if merged["count"] else None
+            )
+            merged["last"] = None
+    return out
+
+
 _DEFAULT = MetricsRegistry()
 
 

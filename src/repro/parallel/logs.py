@@ -1,0 +1,78 @@
+"""Deterministic merging of per-task worker run-logs.
+
+Workers cannot append to one shared JSONL file without interleaving, so
+every parallel task writes its own ``repro.runlog/v1`` log to an
+index-suffixed file (``task_0003.jsonl``).  Because file names encode
+the *task* identity — not the worker that happened to run it —
+:func:`merge_worker_logs` reproduces the same merged log no matter how
+tasks were scheduled: logs are concatenated in ascending task order,
+each record tagged with its task index.
+
+Validation reuses the run-log machinery from the checkpoint/resume
+work (:mod:`repro.observe.callbacks`): each per-task log must pass
+:func:`~repro.observe.callbacks.validate_run_log`, and when batch
+events are present, :func:`~repro.observe.callbacks.validate_stitched_steps`
+checks that no step was duplicated or dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observe.callbacks import (
+    read_run_log,
+    validate_run_log,
+    validate_stitched_steps,
+)
+
+_TASK_LOG_FORMAT = "task_{index:04d}.jsonl"
+
+
+def task_log_path(log_dir: str | Path, index: int) -> Path:
+    """Canonical per-task run-log path inside ``log_dir``."""
+    if index < 0:
+        raise ValueError(f"task index must be >= 0, got {index}")
+    return Path(log_dir) / _TASK_LOG_FORMAT.format(index=index)
+
+
+def merge_worker_logs(log_dir: str | Path, validate: bool = True) -> list[dict]:
+    """Merge every per-task log under ``log_dir`` in task order.
+
+    Returns one flat record list; each record gains a ``task`` field
+    with its 0-based task index.  Raises ``FileNotFoundError`` when no
+    task logs exist and ``ValueError`` when a log fails validation or
+    a task index is missing from the sequence.
+    """
+    log_dir = Path(log_dir)
+    paths = sorted(log_dir.glob("task_*.jsonl"))
+    if not paths:
+        raise FileNotFoundError(f"no task_*.jsonl run logs under {log_dir}")
+    indices = [int(path.stem.split("_")[1]) for path in paths]
+    if indices != list(range(len(indices))):
+        raise ValueError(
+            f"task logs under {log_dir} are not a contiguous 0-based "
+            f"sequence: {indices}"
+        )
+    merged: list[dict] = []
+    for index, path in zip(indices, paths):
+        records = read_run_log(path)
+        if validate:
+            try:
+                validate_run_log(records)
+                if any(r.get("event") == "batch_end" for r in records):
+                    validate_stitched_steps(records)
+            except ValueError as exc:
+                raise ValueError(f"task log {path} failed validation: {exc}") from exc
+        merged.extend({**record, "task": index} for record in records)
+    return merged
+
+
+def write_merged_log(records: list[dict], path: str | Path) -> Path:
+    """Write merged records as one JSONL file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return path

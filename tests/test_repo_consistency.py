@@ -27,7 +27,8 @@ class TestReadmeReferences:
     def test_docs_exist(self):
         for doc in ("api.md", "datasets.md", "reproducing.md",
                     "design_notes.md", "tutorial_custom_pooling.md",
-                    "batching.md", "observability.md", "checkpointing.md"):
+                    "batching.md", "observability.md", "checkpointing.md",
+                    "parallelism.md"):
             assert (REPO / "docs" / doc).is_file(), doc
 
 
@@ -65,8 +66,20 @@ class TestPytestMarkers:
             f"{sorted(unregistered)}"
         )
 
+    def test_every_registered_marker_is_used(self):
+        """A registered marker no test carries is a stale registration
+        (or a typo'd suite) — fail either way so the registry stays an
+        accurate map of the gate suites."""
+        unused = self._registered_markers() - self._used_markers()
+        assert not unused, (
+            f"markers registered in pyproject.toml but used by no test: "
+            f"{sorted(unused)}"
+        )
+
     def test_new_suite_markers_registered(self):
-        assert {"checkpoint", "faultinject"} <= self._registered_markers()
+        assert {
+            "checkpoint", "faultinject", "parallel", "bench"
+        } <= self._registered_markers()
 
 
 class TestDesignDocCoverage:

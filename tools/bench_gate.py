@@ -1,0 +1,233 @@
+"""Benchmark-regression gate (the ``bench-compare`` stage of tools/ci.sh).
+
+Times the hot paths the parallel-execution PR cares about and fails
+when one regresses against the committed baseline:
+
+- ``crossval_serial_s`` — one serial cross-validation (the reference
+  execution the parallel engine is measured against);
+- ``fold_task_mean_s`` — mean per-fold training time (the unit of work
+  the pool schedules);
+- ``dataset_build_s`` / ``dataset_cache_load_s`` — a synthetic-dataset
+  build vs re-loading it from the ``repro.data.cache`` archive (the
+  cache must stay much cheaper than the builder);
+- ``crossval_parallel_s`` (multi-core hosts only) — the same
+  cross-validation fanned out over worker processes, recorded together
+  with ``speedup_vs_serial``.
+
+The report is written to ``BENCH_parallel.json`` (schema
+``repro.bench/v1``: commit, cpu count, timings, speedup) and compared
+against ``results/bench_baseline.json``: any shared timing more than
+``--threshold`` (default 25%) slower fails the gate.  Speedup is
+*enforced* (``>= --require-speedup``, default 2x) only on hosts with
+at least 4 cores — on smaller machines it is recorded for the
+trajectory but cannot physically reach the bar.  ``--update-baseline``
+rewrites the baseline from the current run.
+
+    PYTHONPATH=src python tools/bench_gate.py
+    PYTHONPATH=src python tools/bench_gate.py --update-baseline
+
+The same measurement is exposed to pytest-benchmark through
+``benchmarks/test_parallel_speedup.py`` (``pytest -m bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_SCHEMA = "repro.bench/v1"
+DEFAULT_OUT = REPO / "BENCH_parallel.json"
+DEFAULT_BASELINE = REPO / "results" / "bench_baseline.json"
+
+#: measurement scale: big enough that fold training dominates process
+#: startup, small enough for a CI stage
+BENCH_CONFIG = {
+    "method": "SumPool",
+    "dataset": "IMDB-B",
+    "folds": 4,
+    "num_graphs": 60,
+    "epochs": 8,
+    "hidden": 16,
+    "seed": 0,
+}
+PARALLEL_WORKERS = 4
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def measure(config: dict | None = None, parallel_workers: int | None = None) -> dict:
+    """Time the hot paths; returns the ``repro.bench/v1`` report."""
+    from repro.data import DatasetCache, clear_memory_cache
+    from repro.evaluation import cross_validate_classification
+
+    config = dict(BENCH_CONFIG if config is None else config)
+    cpu_count = os.cpu_count() or 1
+    if parallel_workers is None:
+        parallel_workers = min(PARALLEL_WORKERS, cpu_count)
+    method = config.pop("method")
+    dataset = config.pop("dataset")
+
+    import tempfile
+
+    timings: dict[str, float | None] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = DatasetCache(tmp)
+        clear_memory_cache()
+        start = time.perf_counter()
+        cache.get_or_build(dataset, config["num_graphs"], config["seed"])
+        timings["dataset_build_s"] = time.perf_counter() - start
+        clear_memory_cache()
+        start = time.perf_counter()
+        cache.get_or_build(dataset, config["num_graphs"], config["seed"])
+        timings["dataset_cache_load_s"] = time.perf_counter() - start
+
+    serial = cross_validate_classification(method, dataset, **config)
+    serial_run = serial.pool_run
+    timings["crossval_serial_s"] = serial_run.wall_time_s
+    timings["fold_task_mean_s"] = serial_run.busy_time_s / max(
+        1, len(serial_run.task_stats)
+    )
+
+    speedup = None
+    if parallel_workers > 1:
+        clear_memory_cache()
+        parallel = cross_validate_classification(
+            method, dataset, n_workers=parallel_workers, **config
+        )
+        if parallel.fold_accuracies != serial.fold_accuracies:
+            raise RuntimeError(
+                "parallel cross-validation deviated from serial: "
+                f"{parallel.fold_accuracies} != {serial.fold_accuracies}"
+            )
+        timings["crossval_parallel_s"] = parallel.pool_run.wall_time_s
+        speedup = timings["crossval_serial_s"] / timings["crossval_parallel_s"]
+    else:
+        timings["crossval_parallel_s"] = None
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "commit": _git_commit(),
+        "time": time.time(),
+        "cpu_count": cpu_count,
+        "parallel_workers": parallel_workers,
+        "config": {"method": method, "dataset": dataset, **config},
+        "timings": timings,
+        "speedup_vs_serial": speedup,
+    }
+
+
+def compare(report: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regressions of ``report`` vs ``baseline`` beyond ``threshold``.
+
+    Only timings present and numeric in *both* reports are compared, so
+    a single-core run is never judged against a multi-core baseline's
+    parallel timings.  Millisecond-scale timings get an absolute grace
+    of 25ms on top of the relative threshold — scheduler jitter on a
+    shared CI runner must not flap the gate.
+    """
+    failures = []
+    base_timings = baseline.get("timings", {})
+    for name, value in report["timings"].items():
+        base = base_timings.get(name)
+        if not isinstance(value, (int, float)) or not isinstance(base, (int, float)):
+            continue
+        if value > base * (1.0 + threshold) and value - base > 0.025:
+            failures.append(
+                f"{name}: {value:.3f}s vs baseline {base:.3f}s "
+                f"(+{(value / base - 1.0):.0%}, threshold +{threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fail when a hot path is this fraction slower than baseline",
+    )
+    parser.add_argument(
+        "--require-speedup", type=float, default=2.0,
+        help="minimum parallel speedup, enforced on hosts with >= 4 cores",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker count (default: min(4, cpu_count))",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(parallel_workers=args.workers)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    speedup = report["speedup_vs_serial"]
+    if speedup is not None:
+        detail = (
+            f"parallel {report['timings']['crossval_parallel_s']:.2f}s "
+            f"({report['parallel_workers']} workers on "
+            f"{report['cpu_count']} core(s), speedup {speedup:.2f}x)"
+        )
+    else:
+        detail = "parallel timing skipped (single worker)"
+    print(
+        f"bench: serial {report['timings']['crossval_serial_s']:.2f}s, "
+        f"{detail}, wrote {args.out.relative_to(REPO)}"
+    )
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"bench: baseline updated at {args.baseline.relative_to(REPO)}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"bench: no baseline at {args.baseline} — run with "
+            "--update-baseline to create one (gate passes vacuously)"
+        )
+        return 0
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    if baseline.get("schema") != BENCH_SCHEMA:
+        print(f"bench: baseline schema {baseline.get('schema')!r} unsupported")
+        return 1
+    failures = compare(report, baseline, args.threshold)
+    if report["cpu_count"] >= 4 and speedup is not None:
+        if speedup < args.require_speedup:
+            failures.append(
+                f"speedup_vs_serial: {speedup:.2f}x < required "
+                f"{args.require_speedup:.1f}x on a {report['cpu_count']}-core host"
+            )
+    elif speedup is not None:
+        print(
+            f"bench: speedup {speedup:.2f}x recorded but not enforced "
+            f"({report['cpu_count']} core(s) < 4)"
+        )
+    for failure in failures:
+        print(f"bench REGRESSION: {failure}")
+    if failures:
+        return 1
+    print("bench: no regression against baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""AST-based repository linter (first stage of tools/ci.sh).
+
+Three rules, each targeting a bug class this codebase has actually had
+to design around:
+
+- **no-bare-except** — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; worker processes that catch those hang the pool
+  instead of dying loudly.  Catch a concrete exception type (at
+  minimum ``Exception``).
+- **no-mutable-default** — ``def f(x=[])`` shares one list across
+  calls; with task payloads pickled into worker processes the shared
+  state silently diverges between parent and workers.
+- **no-global-numpy-random** — ``np.random.seed`` / ``np.random.rand``
+  and friends draw from the process-global legacy RNG.  The parallel
+  engine (docs/parallelism.md) makes this a real bug class: the global
+  stream differs per worker and per schedule, so any code relying on
+  it loses bitwise determinism.  Use ``np.random.default_rng`` /
+  ``SeedSequence`` streams threaded through call sites instead.
+
+Usage::
+
+    python tools/lint.py [paths...]     # default: src tools tests benchmarks examples
+
+Exit code 0 when clean, 1 with one ``path:line: [rule] message`` per
+finding otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ("src", "tools", "tests", "benchmarks", "examples")
+
+#: members of numpy.random that are safe under parallel execution —
+#: everything constructed from an explicit seed or seed sequence
+ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """Match ``np.random`` / ``numpy.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+class Linter(ast.NodeVisitor):
+    def __init__(self, path: Path):
+        self.path = path
+        self.findings: list[tuple[int, str, str]] = []
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append((node.lineno, rule, message))
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node, "no-bare-except",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch a concrete exception type",
+            )
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in MUTABLE_CALLS
+            )
+            if mutable:
+                self.report(
+                    default, "no-mutable-default",
+                    f"mutable default argument in {node.name}(); "
+                    "use None and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _is_np_random(node.value) and node.attr not in ALLOWED_NP_RANDOM:
+            self.report(
+                node, "no-global-numpy-random",
+                f"np.random.{node.attr} uses the process-global legacy RNG "
+                "(non-deterministic under parallel workers); use "
+                "np.random.default_rng / SeedSequence streams",
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> list[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: [syntax] {exc.msg}"]
+    linter = Linter(path)
+    linter.visit(tree)
+    relative = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+    return [
+        f"{relative}:{line}: [{rule}] {message}"
+        for line, rule, message in sorted(linter.findings)
+    ]
+
+
+def lint_paths(paths: list[Path]) -> list[str]:
+    findings: list[str] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    paths = [Path(p) for p in argv] if argv else [REPO / p for p in DEFAULT_PATHS]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(map(str, missing))}")
+        return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    checked = sum(
+        1 if p.is_file() else len(list(p.rglob("*.py"))) for p in paths
+    )
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint: {checked} files checked, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

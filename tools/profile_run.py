@@ -19,6 +19,12 @@ The same report is written as JSON (schema ``repro.profile/v1``) under
 :class:`repro.testing.FaultInjector`, resumed from its latest
 checkpoint, and the two run-logs are stitched and verified to carry no
 duplicated or skipped step indices across the resume boundary.
+
+``--check-parallel`` smoke-tests the multiprocess engine
+(docs/parallelism.md): one small cross-validation runs serially and
+with worker processes, the fold accuracies are verified identical, and
+the worker-level task spans are reported as a parallel-efficiency
+breakdown (busy time per worker / wall time).
 """
 
 from __future__ import annotations
@@ -222,6 +228,56 @@ def checkpoint_resume_smoke(
     }
 
 
+def parallel_smoke(
+    n_workers: int = 2,
+    method: str = "SumPool",
+    dataset: str = "MUTAG",
+    folds: int = 4,
+    num_graphs: int = 40,
+    epochs: int = 3,
+    hidden: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Verify parallel==serial on one small cross-validation.
+
+    Returns a summary with per-worker busy times and the parallel
+    efficiency of the worker run.  Raises if the parallel fold
+    accuracies deviate from serial by a single bit.
+    """
+    from repro.data import clear_memory_cache
+    from repro.evaluation import cross_validate_classification
+
+    kwargs = dict(
+        folds=folds, num_graphs=num_graphs, epochs=epochs, hidden=hidden,
+        seed=seed,
+    )
+    serial = cross_validate_classification(method, dataset, **kwargs)
+    clear_memory_cache()  # force workers onto their own dataset loads
+    parallel = cross_validate_classification(
+        method, dataset, n_workers=n_workers, **kwargs
+    )
+    if serial.fold_accuracies != parallel.fold_accuracies:
+        raise RuntimeError(
+            "parallel fold accuracies deviate from serial: "
+            f"{parallel.fold_accuracies} != {serial.fold_accuracies}"
+        )
+    run = parallel.pool_run
+    busy_by_worker: dict[int, float] = {}
+    for stat in run.task_stats:
+        busy_by_worker[stat.worker] = (
+            busy_by_worker.get(stat.worker, 0.0) + stat.duration_s
+        )
+    return {
+        "n_workers": run.n_workers,
+        "fold_accuracies": parallel.fold_accuracies,
+        "wall_time_s": run.wall_time_s,
+        "busy_time_s": run.busy_time_s,
+        "busy_by_worker": busy_by_worker,
+        "efficiency": run.efficiency,
+        "speedup": run.speedup,
+    }
+
+
 def _fmt_bytes(n: float) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if abs(n) < 1024:
@@ -294,6 +350,19 @@ def main(argv: list[str] | None = None) -> int:
         help="also crash+resume one checkpointed run and verify the "
         "stitched run-log (docs/checkpointing.md)",
     )
+    parser.add_argument(
+        "--check-parallel",
+        action="store_true",
+        help="also run one cross-validation serially and with worker "
+        "processes, verify identical results and report parallel "
+        "efficiency (docs/parallelism.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for --check-parallel",
+    )
     args = parser.parse_args(argv)
 
     if args.check_resume:
@@ -305,6 +374,20 @@ def main(argv: list[str] | None = None) -> int:
             f"checkpoint/resume smoke: {summary['steps_logged']} steps and "
             f"{summary['checkpoints']} checkpoints stitch cleanly across "
             f"the resume boundary (resumed from {summary['resumed_from']})"
+        )
+
+    if args.check_parallel:
+        summary = parallel_smoke(n_workers=args.workers)
+        per_worker = ", ".join(
+            f"w{worker}: {busy:.2f}s"
+            for worker, busy in sorted(summary["busy_by_worker"].items())
+        )
+        print(
+            f"parallel smoke: {len(summary['fold_accuracies'])} folds "
+            f"identical to serial across {summary['n_workers']} workers; "
+            f"wall {summary['wall_time_s']:.2f}s, busy [{per_worker}], "
+            f"efficiency {summary['efficiency']:.0%} "
+            f"(speedup {summary['speedup']:.2f}x)"
         )
 
     report = profile_training(
