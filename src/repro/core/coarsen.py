@@ -23,7 +23,7 @@ from repro.core.gcont import GCont
 from repro.core.moa import MOA
 from repro.nn.module import Module, warn_deprecated
 from repro.observe.tracing import span
-from repro.tensor import Tensor, as_tensor, bmm, log, softmax, transpose
+from repro.tensor import CSRMatrix, Tensor, as_tensor, bmm, log, softmax, spmm, transpose
 
 #: softmax temperature of Eq. 19 ("we set τ = 0.1").
 DEFAULT_TAU = 0.1
@@ -101,14 +101,23 @@ class GraphCoarsening(Module):
         Dispatches on rank — padded ``(B, N, ·)`` inputs run
         :meth:`_coarsen_padded`.
         """
-        adjacency = as_tensor(adjacency)
+        sparse = isinstance(adjacency, CSRMatrix)
+        if not sparse:
+            adjacency = as_tensor(adjacency)
         h = as_tensor(h)
         with span("coarsen"):
             if h.ndim == 3:
                 return self._coarsen_padded(adjacency, h, mask)
             assignment = self.attention(h)  # (N, N')
             h_coarse = assignment.T @ h  # Eq. 17
-            adj_coarse = assignment.T @ adjacency @ assignment  # Eq. 18
+            if sparse:
+                # Eq. 18 as M^T (A M): the spmm keeps peak memory at
+                # O(E·N') instead of the dense O(N²); the coarsened
+                # (N', N') adjacency is small and stays dense so the
+                # Gumbel sampling and deeper levels are unchanged.
+                adj_coarse = assignment.T @ spmm(adjacency, assignment)
+            else:
+                adj_coarse = assignment.T @ adjacency @ assignment  # Eq. 18
             if self.soft_sampling:
                 noise_rng = self.rng if self.training else None
                 adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)

@@ -18,7 +18,7 @@ from repro.data.batching import PaddedBatch
 from repro.gnn.encoder import GNNEncoder
 from repro.nn.module import Module, warn_deprecated
 from repro.pooling.base import Coarsening
-from repro.tensor import Tensor, as_tensor, masked_mean
+from repro.tensor import CSRMatrix, Tensor, as_tensor, masked_mean
 
 
 class HAPPooling(Coarsening):
@@ -90,7 +90,11 @@ class HierarchicalEmbedder(Module):
         if isinstance(adjacency, PaddedBatch):
             batch = adjacency
             adjacency, h, mask = batch.adjacency, Tensor(batch.features), batch.mask
-        adjacency = as_tensor(adjacency)
+        if not isinstance(adjacency, CSRMatrix):
+            # A level-0 CSR adjacency stays sparse (docs/sparse.md); the
+            # coarsened levels it produces are small dense Tensors, so
+            # the loop below needs no other change.
+            adjacency = as_tensor(adjacency)
         h = as_tensor(h)
         levels: list[Tensor] = []
         if h.ndim == 3:

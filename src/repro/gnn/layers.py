@@ -3,7 +3,10 @@
 Both layers run on a dense ``(N, N)`` adjacency, which may be a numpy
 array (constant) or a Tensor (differentiable, e.g. the soft-sampled
 coarsened adjacency A' of Eq. 18-19 whose gradient must flow back into
-the MOA attention).
+the MOA attention) — or, on the sparse execution backend
+(docs/sparse.md), a constant :class:`~repro.tensor.sparse.CSRMatrix`,
+which replaces every dense ``(N, N)`` product with gather/scatter +
+segment-reduce kernels in O(E) memory.
 """
 
 from __future__ import annotations
@@ -12,7 +15,19 @@ import numpy as np
 
 from repro.nn.init import glorot_uniform, zeros
 from repro.nn.module import Module, Parameter, warn_deprecated
-from repro.tensor import Tensor, as_tensor, leaky_relu, power, relu, softmax, where
+from repro.tensor import (
+    CSRMatrix,
+    Tensor,
+    as_tensor,
+    leaky_relu,
+    power,
+    relu,
+    scatter_gather,
+    segment_softmax,
+    softmax,
+    spmm,
+    where,
+)
 
 
 def _adjacency_tensor(adjacency) -> Tensor:
@@ -31,6 +46,24 @@ def normalize_adjacency(adjacency, eps: float = 1e-8) -> Tensor:
     degree = adj_tilde.sum(axis=1)
     inv_sqrt = power(degree + eps, -0.5)
     return adj_tilde * inv_sqrt.reshape(n, 1) * inv_sqrt.reshape(1, n)
+
+
+def normalize_adjacency_sparse(adjacency: CSRMatrix, eps: float = 1e-8) -> CSRMatrix:
+    """Symmetric normalisation ``D̃^{-1/2} Ã D̃^{-1/2}`` on CSR structure.
+
+    The exact sparse twin of :func:`normalize_adjacency`: self-loops are
+    added (accumulating onto any existing diagonal, like the dense
+    ``A + I``), degrees come from row sums, and every stored entry is
+    scaled by both endpoints' inverse square-root degrees.  The result
+    is a *constant* — the sparse backend treats the input adjacency as
+    fixed structure (differentiable adjacencies only appear in the
+    coarsened levels, which stay dense).
+    """
+    adj_tilde = adjacency.with_self_loops()
+    inv_sqrt = (adj_tilde.row_sums() + eps) ** -0.5
+    return adj_tilde.with_data(
+        inv_sqrt[adj_tilde.row_ids] * adj_tilde.data * inv_sqrt[adj_tilde.indices]
+    )
 
 
 def normalize_adjacency_batched(adjacency, eps: float = 1e-8) -> Tensor:
@@ -100,11 +133,25 @@ class GCNLayer(Module):
         reaches valid rows (their normalised adjacency entries are
         zero); downstream masked reductions discard it."""
         h = as_tensor(h)
+        if isinstance(adjacency, CSRMatrix):
+            return self._forward_sparse(adjacency, h)
         if h.ndim == 3:
             normalized = normalize_adjacency_batched(adjacency)
         else:
             normalized = normalize_adjacency(adjacency)
         out = normalized @ (h @ self.weight) + self.bias
+        return _activate(out, self.activation)
+
+    def _forward_sparse(self, adjacency: CSRMatrix, h: Tensor) -> Tensor:
+        """Single-graph convolution over a constant CSR adjacency.
+
+        Identical arithmetic to the dense path — ``D̃^{-1/2} Ã D̃^{-1/2}``
+        applied edge-wise, then one :func:`~repro.tensor.ops.spmm` —
+        so outputs and gradients match :meth:`forward` to float
+        round-off (tests/test_sparse_equivalence.py).
+        """
+        normalized = normalize_adjacency_sparse(adjacency)
+        out = spmm(normalized, h @ self.weight) + self.bias
         return _activate(out, self.activation)
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:
@@ -150,6 +197,8 @@ class GATLayer(Module):
         """Dispatch on input rank: 2-D features run the single-graph
         attention, 3-D the padded-batch one."""
         h = as_tensor(h)
+        if isinstance(adjacency, CSRMatrix):
+            return self._forward_sparse(adjacency, h)
         if h.ndim == 3:
             return self._forward_padded(adjacency, h)
         n = h.shape[0]
@@ -175,6 +224,32 @@ class GATLayer(Module):
         """Deprecated alias — ``forward`` now dispatches on input rank."""
         warn_deprecated("GATLayer.forward_batched", "GATLayer.__call__")
         return self.forward(adjacency, h, mask)
+
+    def _forward_sparse(self, adjacency: CSRMatrix, h: Tensor) -> Tensor:
+        """Single-graph attention over a constant CSR adjacency.
+
+        Attention is computed only on stored edges plus self-loops via a
+        segment softmax over each row's neighbourhood.  This matches the
+        dense path exactly because the dense ``-1e9`` logit fill
+        underflows to attention weight 0.0 in float64 — non-neighbours
+        contribute nothing there either (the equivalence suite pins this
+        down to 1e-6).  The CSR adjacency is a constant, so the dense
+        path's differentiable-adjacency reweighting branch never applies
+        here.
+        """
+        n = h.shape[0]
+        transformed = h @ self.weight  # (N, F')
+        score_src = transformed @ self.att_src  # (N,)
+        score_dst = transformed @ self.att_dst  # (N,)
+        adj_tilde = adjacency.with_self_loops()
+        row, col = adj_tilde.row_ids, adj_tilde.indices
+        logits = leaky_relu(
+            scatter_gather(score_src, row) + scatter_gather(score_dst, col),
+            self.negative_slope,
+        )
+        attention = segment_softmax(logits, row, n)  # (E~,)
+        out = spmm(adj_tilde, transformed, values=attention) + self.bias
+        return _activate(out, self.activation)
 
     def _forward_padded(self, adjacency, h: Tensor) -> Tensor:
         """Batched GAT on ``(B, N, N)`` adjacency and ``(B, N, F)`` features.

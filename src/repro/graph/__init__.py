@@ -15,10 +15,12 @@ from repro.graph.generators import (
     path_graph,
     planted_communities,
     random_connected,
+    random_sparse_csr,
     star_graph,
     random_tree,
     watts_strogatz,
 )
+from repro.tensor.sparse import CSRMatrix
 from repro.graph.algorithms import (
     connect_components,
     connected_components,
@@ -56,6 +58,8 @@ __all__ = [
     "path_graph",
     "planted_communities",
     "random_connected",
+    "random_sparse_csr",
+    "CSRMatrix",
     "star_graph",
     "random_tree",
     "watts_strogatz",

@@ -10,10 +10,16 @@ graphs.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
+
+#: per-instance CSR conversions (sparse backend, docs/sparse.md); keyed
+#: by graph identity so the cache dies with the graph and immutability
+#: keeps the cached structure valid forever
+_CSR_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 @dataclass(frozen=True, eq=False)
@@ -89,6 +95,24 @@ class Graph:
 
     def has_edge(self, i: int, j: int) -> bool:
         return bool(self.adjacency[i, j] != 0)
+
+    def to_csr(self):
+        """The adjacency as a :class:`~repro.tensor.sparse.CSRMatrix`.
+
+        Entry point of the sparse execution backend (docs/sparse.md):
+        models built with ``backend="sparse"`` run message passing over
+        this structure instead of the dense ``(N, N)`` array.  The
+        conversion is cached per instance (graphs are immutable), so
+        repeated epochs over a dataset pay the O(N²) compression scan
+        once per graph.
+        """
+        from repro.tensor.sparse import CSRMatrix
+
+        cached = _CSR_CACHE.get(self)
+        if cached is None:
+            cached = CSRMatrix.from_dense(self.adjacency)
+            _CSR_CACHE[self] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Constructors

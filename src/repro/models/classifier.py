@@ -15,11 +15,18 @@ from repro.models.common import graph_inputs
 from repro.nn.layers import Linear
 from repro.nn.losses import cross_entropy, cross_entropy_batched
 from repro.nn.module import Module
-from repro.tensor import Tensor, no_grad, relu, softmax
+from repro.tensor import Tensor, concat, no_grad, relu, softmax
 
 
 class GraphClassifier(Module):
-    """Embedder + two fully-connected layers + softmax classifier."""
+    """Embedder + two fully-connected layers + softmax classifier.
+
+    ``backend`` selects the execution backend for adjacency handling:
+    ``"dense"`` (default) feeds the embedder dense ``(N, N)`` arrays and
+    pads batches, ``"sparse"`` feeds cached CSR adjacencies and runs
+    batches as a per-graph loop (docs/sparse.md) — same arithmetic,
+    O(E) peak memory.
+    """
 
     def __init__(
         self,
@@ -27,12 +34,16 @@ class GraphClassifier(Module):
         num_classes: int,
         rng: np.random.Generator,
         hidden: int | None = None,
+        backend: str = "dense",
     ):
         super().__init__()
         if num_classes < 2:
             raise ValueError("need at least two classes")
+        if backend not in ("dense", "sparse"):
+            raise ValueError(f"unknown backend {backend!r}; use 'dense' or 'sparse'")
         self.embedder = embedder
         self.num_classes = num_classes
+        self.backend = backend
         dim = embedder.out_features
         hidden = hidden or dim
         self.fc1 = Linear(dim, hidden, rng)
@@ -48,7 +59,7 @@ class GraphClassifier(Module):
         to the classification head.  Flat embedders contribute their
         single readout.
         """
-        adjacency, features = graph_inputs(graph)
+        adjacency, features = graph_inputs(graph, self.backend)
         levels = self.embedder.embed_levels(adjacency, features)
         embedding = levels[0]
         for level in levels[1:]:
@@ -87,8 +98,14 @@ class GraphClassifier(Module):
         :class:`~repro.data.batching.PaddedBatch`.
 
         Matches :meth:`logits` row by row: the sum of per-level masked
-        readouts feeds the same two fully-connected layers.
+        readouts feeds the same two fully-connected layers.  On the
+        sparse backend a list of graphs runs as a per-graph CSR loop —
+        no ``(B, N_max, N_max)`` padding is ever materialised; an
+        explicit :class:`PaddedBatch` is already dense and keeps the
+        padded path.
         """
+        if self.backend == "sparse" and not isinstance(graphs, PaddedBatch):
+            return self._logits_sparse(list(graphs))
         batch = self._as_batch(graphs)
         levels = self.embedder.embed_levels(
             batch.adjacency, Tensor(batch.features), batch.mask
@@ -98,13 +115,28 @@ class GraphClassifier(Module):
             embedding = embedding + level
         return self.fc2(relu(self.fc1(embedding)))
 
+    def _logits_sparse(self, graphs: list) -> Tensor:
+        """Per-graph CSR logits stacked into ``(B, C)`` — the sparse
+        backend's batch forward (one autograd graph, so ``backward`` on
+        any reduction reaches every parameter exactly as the padded
+        path does)."""
+        rows = [self.logits(g).reshape(1, self.num_classes) for g in graphs]
+        return concat(rows, axis=0)
+
     def batch_loss(self, graphs) -> Tensor:
         """Mean cross-entropy over the batch (equals the per-graph loop's
         mean of :meth:`loss`) plus any embedder auxiliary loss."""
-        batch = self._as_batch(graphs)
-        if batch.labels is None:
-            raise ValueError("every graph in the batch needs a label")
-        loss = cross_entropy_batched(self.logits_batched(batch), batch.labels)
+        if self.backend == "sparse" and not isinstance(graphs, PaddedBatch):
+            graphs = list(graphs)
+            if any(g.label is None for g in graphs):
+                raise ValueError("every graph in the batch needs a label")
+            labels = np.array([int(g.label) for g in graphs], dtype=np.int64)
+            loss = cross_entropy_batched(self._logits_sparse(graphs), labels)
+        else:
+            batch = self._as_batch(graphs)
+            if batch.labels is None:
+                raise ValueError("every graph in the batch needs a label")
+            loss = cross_entropy_batched(self.logits_batched(batch), batch.labels)
         aux = getattr(self.embedder, "auxiliary_loss", lambda: None)()
         if aux is not None:
             loss = loss + aux * 0.1
@@ -128,7 +160,7 @@ class GraphClassifier(Module):
 
         Matches :meth:`logits`: the sum over hierarchy levels.
         """
-        adjacency, features = graph_inputs(graph)
+        adjacency, features = graph_inputs(graph, self.backend)
         with no_grad():
             levels = self.embedder.embed_levels(adjacency, features)
             total = levels[0].data.copy()

@@ -12,11 +12,21 @@ def euclidean_distance(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
     return sqrt((diff * diff).sum() + eps)
 
 
-def graph_inputs(graph: Graph) -> tuple:
-    """Extract ``(adjacency, features)`` for a model, validating features."""
+def graph_inputs(graph: Graph, backend: str = "dense") -> tuple:
+    """Extract ``(adjacency, features)`` for a model, validating features.
+
+    ``backend="sparse"`` returns the graph's cached
+    :class:`~repro.tensor.sparse.CSRMatrix` instead of the dense
+    ``(N, N)`` array, selecting the sparse execution paths of every
+    downstream layer (docs/sparse.md).
+    """
     if graph.features is None:
         raise ValueError(
             "graph has no node features; attach an encoding from "
             "repro.data.encoding first"
         )
+    if backend == "sparse":
+        return graph.to_csr(), Tensor(graph.features)
+    if backend != "dense":
+        raise ValueError(f"unknown backend {backend!r}; use 'dense' or 'sparse'")
     return graph.adjacency, Tensor(graph.features)

@@ -19,12 +19,18 @@ Functional ops
     sum, mean, max, reshape, transpose, pad, dropout_mask`` and friends,
     re-exported from :mod:`repro.tensor.ops`.  Batched 3-D primitives
     (``bmm, masked_softmax, masked_sum, masked_mean``) back the padded
-    dense-batch execution path (docs/batching.md).
+    dense-batch execution path (docs/batching.md); sparse primitives
+    (``segment_sum, scatter_gather, spmm, segment_softmax``) over a
+    constant ``CSRMatrix`` back the sparse execution backend
+    (docs/sparse.md).
+``CSRMatrix``
+    Compressed-sparse-row adjacency (:mod:`repro.tensor.sparse`).
 ``numeric_gradient``
     Finite-difference helper used by the test-suite's gradient checks.
 """
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor.sparse import CSRMatrix
 from repro.tensor.ops import (
     absolute,
     add,
@@ -51,8 +57,12 @@ from repro.tensor.ops import (
     power,
     relu,
     reshape,
+    scatter_gather,
+    segment_softmax,
+    segment_sum,
     sigmoid,
     softmax,
+    spmm,
     sqrt,
     stack,
     sum_along,
@@ -64,6 +74,7 @@ from repro.tensor.gradcheck import numeric_gradient, check_gradients
 
 __all__ = [
     "Tensor",
+    "CSRMatrix",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
@@ -92,8 +103,12 @@ __all__ = [
     "power",
     "relu",
     "reshape",
+    "scatter_gather",
+    "segment_softmax",
+    "segment_sum",
     "sigmoid",
     "softmax",
+    "spmm",
     "sqrt",
     "stack",
     "sum_along",

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.sparse import CSRMatrix
 from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
 
 #: Op-level profiling hook (see repro.observe.profiler).  When ``None``
@@ -449,6 +450,152 @@ def masked_mean(a: Tensor, mask, axis=None, keepdims: bool = False) -> Tensor:
 
 
 # ---------------------------------------------------------------------------
+# Sparse (CSR) operations
+# ---------------------------------------------------------------------------
+#
+# The sparse execution backend (docs/sparse.md) replaces dense (N, N)
+# adjacency products with gather/scatter + segment-reduce kernels over a
+# constant :class:`~repro.tensor.sparse.CSRMatrix`.  Gradients flow
+# through the dense operands (and through ``spmm``'s optional per-edge
+# ``values``), never through the CSR structure itself.
+
+
+def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets.
+
+    ``segment_ids`` is a constant ``(E,)`` int array mapping each row of
+    ``values`` (shape ``(E, ...)``) to its output segment; segments that
+    receive no rows come out as exactly zero (the zero-degree-node case).
+    The backward pass is a gather: each input row receives its segment's
+    gradient.
+    """
+    values = as_tensor(values)
+    seg = np.asarray(segment_ids, dtype=np.intp)
+    if seg.ndim != 1 or seg.shape[0] != values.shape[0]:
+        raise ValueError(
+            f"segment_ids shape {seg.shape} does not match values "
+            f"leading dimension {values.shape}"
+        )
+    if num_segments < 0:
+        raise ValueError(f"num_segments must be non-negative, got {num_segments}")
+    if seg.size and (seg.min() < 0 or seg.max() >= num_segments):
+        raise ValueError(f"segment ids out of range [0, {num_segments})")
+    out_data = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out_data, seg, values.data)
+
+    def backward(grad):
+        return (np.asarray(grad)[seg],)
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def scatter_gather(a: Tensor, indices) -> Tensor:
+    """Row gather ``a[indices]`` whose backward is a scatter-add.
+
+    The sparse twin of :func:`gather_rows`: duplicate indices accumulate
+    gradient, rows never gathered receive exactly zero gradient.  Used to
+    expand per-node quantities to per-edge ones (``x[row]``, ``x[col]``).
+    """
+    a = as_tensor(a)
+    idx = np.asarray(indices, dtype=np.intp)
+    out_data = a.data[idx]
+
+    def backward(grad):
+        full = np.zeros(a.shape, dtype=np.float64)
+        np.add.at(full, idx, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def spmm(csr: CSRMatrix, dense: Tensor, values: Tensor | None = None) -> Tensor:
+    """Sparse-dense matmul ``A @ H`` for a constant CSR structure ``A``.
+
+    ``dense`` is ``(M,)`` or ``(M, F)`` for a ``(N, M)`` CSR matrix;
+    the result is ``(N,)`` / ``(N, F)``.  Rows of ``A`` with no stored
+    entries produce exactly-zero output rows.
+
+    ``values`` optionally overrides ``csr.data`` with a *differentiable*
+    ``(E,)`` tensor of per-edge weights (sparse GAT attention); gradients
+    then flow into both ``dense`` and ``values``.  Without it, the edge
+    weights are the CSR's constant data.
+    """
+    dense = as_tensor(dense)
+    n_rows, n_cols = csr.shape
+    if dense.ndim not in (1, 2):
+        raise ValueError(f"spmm expects a 1-D or 2-D dense operand, got {dense.ndim}-D")
+    if dense.shape[0] != n_cols:
+        raise ValueError(
+            f"spmm shape mismatch: {csr.shape} @ {dense.shape}"
+        )
+    if values is None:
+        vals_data = csr.data
+        parents: tuple = (dense,)
+    else:
+        values = as_tensor(values)
+        if values.shape != (csr.nnz,):
+            raise ValueError(
+                f"values shape {values.shape} does not match nnz ({csr.nnz},)"
+            )
+        vals_data = values.data
+        parents = (dense, values)
+    row_ids, col_ids = csr.row_ids, csr.indices
+    gathered = dense.data[col_ids]  # (E, ...) neighbour rows
+    if dense.ndim == 1:
+        weighted = vals_data * gathered
+    else:
+        weighted = vals_data[:, None] * gathered
+    out_data = np.zeros((n_rows,) + dense.shape[1:], dtype=np.float64)
+    np.add.at(out_data, row_ids, weighted)
+
+    def backward(grad):
+        g = np.asarray(grad)
+        g_edges = g[row_ids]  # (E, ...)
+        grad_dense = None
+        if dense.requires_grad:
+            grad_dense = np.zeros(dense.shape, dtype=np.float64)
+            if dense.ndim == 1:
+                np.add.at(grad_dense, col_ids, vals_data * g_edges)
+            else:
+                np.add.at(grad_dense, col_ids, vals_data[:, None] * g_edges)
+        if values is None:
+            return (grad_dense,)
+        grad_values = None
+        if values.requires_grad:
+            if dense.ndim == 1:
+                grad_values = gathered * g_edges
+            else:
+                grad_values = (gathered * g_edges).sum(axis=1)
+        return (grad_dense, grad_values)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def segment_softmax(logits: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Softmax of ``(E,)`` logits within each segment.
+
+    The sparse counterpart of a per-row masked softmax: entries sharing a
+    segment id (a destination node's incoming edges) are normalised
+    together, with the usual max-shift stabilisation (the per-segment max
+    is a constant shift, so it carries no gradient).  Empty segments
+    simply produce no entries.
+    """
+    logits = as_tensor(logits)
+    if logits.ndim != 1:
+        raise ValueError(f"segment_softmax expects 1-D logits, got {logits.ndim}-D")
+    seg = np.asarray(segment_ids, dtype=np.intp)
+    seg_max = np.full(num_segments, -np.inf, dtype=np.float64)
+    np.maximum.at(seg_max, seg, logits.data)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    shifted = logits - Tensor(seg_max[seg])
+    exps = exp(shifted)
+    denom = segment_sum(exps, seg, num_segments)
+    # Every gathered denominator belongs to a non-empty segment, so it is
+    # at least exp(0) = 1 for that segment's max entry — never zero.
+    return exps / scatter_gather(denom, seg)
+
+
+# ---------------------------------------------------------------------------
 # Reductions
 # ---------------------------------------------------------------------------
 
@@ -578,7 +725,8 @@ def _instrumented(name, fn):
 
 
 #: Names wrapped by the profiling shim (``dropout_mask`` is excluded:
-#: it returns a constant numpy array, not a tape node).
+#: it returns a constant numpy array, not a tape node; ``segment_softmax``
+#: is a composite of already-instrumented primitives).
 _INSTRUMENTED_OPS = (
     "add",
     "sub",
@@ -609,6 +757,9 @@ _INSTRUMENTED_OPS = (
     "masked_softmax",
     "masked_sum",
     "masked_mean",
+    "segment_sum",
+    "scatter_gather",
+    "spmm",
     "sum_along",
     "mean",
     "max_along",

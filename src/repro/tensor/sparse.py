@@ -1,0 +1,174 @@
+"""The :class:`CSRMatrix` sparse adjacency representation.
+
+The dense execution path stores a graph's adjacency as an ``(N, N)``
+array — O(N²) memory, which caps practical graph size around the
+paper's regime (≤ ~500 nodes).  The sparse backend (docs/sparse.md)
+stores only the E non-zero entries in compressed-sparse-row layout:
+
+- ``indptr``  ``(N + 1,)`` int array; row ``i``'s entries occupy the
+  slice ``indptr[i]:indptr[i + 1]`` of ``indices``/``data``;
+- ``indices`` ``(E,)`` int array of column indices, sorted within each
+  row;
+- ``data``    ``(E,)`` float array of the corresponding values.
+
+A ``CSRMatrix`` is a *constant* in the autograd sense: the sparse
+backend treats the input adjacency as fixed structure (the coarsened
+adjacencies further up the hierarchy are small and stay dense and
+differentiable).  Gradients flow through the dense operands and the
+optional per-edge ``values`` of :func:`repro.tensor.ops.spmm`, never
+through ``CSRMatrix.data`` itself.
+
+``to_dense()`` exists for conversion and testing only — materialising
+an ``(N, N)`` array inside a sparse code path defeats the backend, and
+``tools/lint.py`` flags it (rule ``no-densify-in-sparse-path``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRMatrix:
+    """A constant sparse matrix in compressed-sparse-row layout."""
+
+    __slots__ = ("indptr", "indices", "data", "shape", "_row_ids")
+
+    def __init__(self, indptr, indices, data, shape: tuple[int, int]):
+        indptr = np.asarray(indptr, dtype=np.intp)
+        indices = np.asarray(indices, dtype=np.intp)
+        data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"invalid shape {shape}")
+        if indptr.ndim != 1 or indptr.shape[0] != n_rows + 1:
+            raise ValueError(
+                f"indptr must have shape ({n_rows + 1},), got {indptr.shape}"
+            )
+        if indices.ndim != 1 or data.shape != indices.shape:
+            raise ValueError(
+                f"indices/data must be matching 1-D arrays, got "
+                f"{indices.shape} and {data.shape}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_cols):
+            raise ValueError(f"column indices out of range [0, {n_cols})")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = (n_rows, n_cols)
+        self._row_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """``(E,)`` row index of every stored entry (cached expansion of
+        ``indptr`` — the COO twin of ``indices``)."""
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.shape[0], dtype=np.intp), np.diff(self.indptr)
+            )
+        return self._row_ids
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        """Compress a dense 2-D array, dropping exact zeros."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
+        rows, cols = np.nonzero(arr)
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.intp)
+        np.cumsum(np.bincount(rows, minlength=arr.shape[0]), out=indptr[1:])
+        return cls(indptr, cols, arr[rows, cols], arr.shape)
+
+    @classmethod
+    def from_coo(cls, rows, cols, values, shape: tuple[int, int]) -> "CSRMatrix":
+        """Build from coordinate triplets; duplicate positions are summed
+        (so e.g. adding self-loops to a diagonal that already carries
+        weight accumulates, exactly like ``dense + np.eye(n)``)."""
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        values = np.asarray(values, dtype=np.float64)
+        if not (rows.shape == cols.shape == values.shape) or rows.ndim != 1:
+            raise ValueError("rows/cols/values must be matching 1-D arrays")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError(f"row indices out of range [0, {n_rows})")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError(f"column indices out of range [0, {n_cols})")
+        # Sort by (row, col), then merge duplicates by summing values.
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if rows.size:
+            new_entry = np.empty(rows.size, dtype=bool)
+            new_entry[0] = True
+            new_entry[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            group = np.cumsum(new_entry) - 1
+            merged = np.zeros(int(group[-1]) + 1, dtype=np.float64)
+            np.add.at(merged, group, values)
+            rows, cols, values = rows[new_entry], cols[new_entry], merged
+        indptr = np.zeros(n_rows + 1, dtype=np.intp)
+        np.cumsum(np.bincount(rows, minlength=n_rows), out=indptr[1:])
+        return cls(indptr, cols, values, (n_rows, n_cols))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full ``(N, M)`` array — conversion/testing
+        only, never inside a sparse execution path (see module doc)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.row_ids, self.indices] = self.data
+        return out
+
+    # ------------------------------------------------------------------
+    # Structure-preserving transforms
+    # ------------------------------------------------------------------
+    def with_data(self, data) -> "CSRMatrix":
+        """Same sparsity pattern, new values (e.g. normalised weights)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != self.indices.shape:
+            raise ValueError(
+                f"data shape {data.shape} does not match nnz ({self.nnz},)"
+            )
+        out = CSRMatrix(self.indptr, self.indices, data, self.shape)
+        out._row_ids = self._row_ids
+        return out
+
+    def transpose(self) -> "CSRMatrix":
+        """The transposed matrix (rows and columns swapped)."""
+        return CSRMatrix.from_coo(
+            self.indices, self.row_ids, self.data, (self.shape[1], self.shape[0])
+        )
+
+    def with_self_loops(self, value: float = 1.0) -> "CSRMatrix":
+        """``A + value * I`` — existing diagonal entries accumulate, just
+        like the dense ``adjacency + np.eye(n)``.  Square matrices only."""
+        n_rows, n_cols = self.shape
+        if n_rows != n_cols:
+            raise ValueError(f"self-loops need a square matrix, got {self.shape}")
+        diag = np.arange(n_rows, dtype=np.intp)
+        return CSRMatrix.from_coo(
+            np.concatenate([self.row_ids, diag]),
+            np.concatenate([self.indices, diag]),
+            np.concatenate([self.data, np.full(n_rows, float(value))]),
+            self.shape,
+        )
+
+    def row_sums(self) -> np.ndarray:
+        """``(N,)`` sum of every row (the weighted out-degree)."""
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        np.add.at(out, self.row_ids, self.data)
+        return out

@@ -50,6 +50,12 @@ class TrainConfig:
     #: looping per-example losses; requires the model (or an explicit
     #: ``batch_loss_fn``) to expose a vectorised batch loss
     batched: bool = False
+    #: adjacency execution backend (docs/sparse.md): ``"dense"`` keeps the
+    #: default (N, N) arrays, ``"sparse"`` switches a model that exposes a
+    #: ``backend`` attribute (e.g. :class:`~repro.models.GraphClassifier`)
+    #: to cached CSR adjacencies before training starts — O(E) memory per
+    #: step, required for graphs too large to densify
+    backend: str = "dense"
     #: write ``repro.ckpt/v1`` checkpoints under this directory
     #: (docs/checkpointing.md); None disables checkpointing
     checkpoint_dir: str | None = None
@@ -130,6 +136,12 @@ def fit(
         resume from the restored state too.
     """
     config = config or TrainConfig()
+    if config.backend not in ("dense", "sparse"):
+        raise ValueError(
+            f"unknown backend {config.backend!r}; use 'dense' or 'sparse'"
+        )
+    if config.backend == "sparse" and hasattr(model, "backend"):
+        model.backend = config.backend
     if loss_fn is None:
         loss_fn = lambda m, ex: m.loss(ex)  # noqa: E731 - tiny default
     events = CallbackList(callbacks)

@@ -2,7 +2,12 @@
 
 Every pooling operator, encoder and HAP itself must handle 1-node,
 2-node and edgeless graphs without crashing — real datasets contain
-such graphs, and coarsened graphs can collapse to one cluster.
+such graphs, and coarsened graphs can collapse to one cluster.  The
+sparse CSR backend (docs/sparse.md) must survive the same degenerate
+shapes: empty edge sets compress to zero stored entries, isolated
+nodes become empty CSR rows, and explicit diagonal entries (self-loops
+are legal in a raw CSRMatrix, unlike in :class:`Graph`) must accumulate
+rather than duplicate.
 """
 
 import numpy as np
@@ -10,7 +15,7 @@ import pytest
 
 from repro.core import GraphCoarsening, build_hap_embedder
 from repro.gnn import GNNEncoder
-from repro.graph import Graph
+from repro.graph import CSRMatrix, Graph
 from repro.pooling import (
     ASAP,
     AttPoolGlobal,
@@ -112,3 +117,77 @@ class TestModelsOnDegenerateGraphs:
             loss = model.loss(g)
             loss.backward()
             assert model.predict(g) in (0, 1)
+
+
+@pytest.mark.sparse
+class TestSparseBackendOnDegenerateGraphs:
+    """The CSR execution paths on the same degenerate shapes, checked
+    *against the dense reference* — surviving is not enough, the two
+    backends must agree (tests/test_sparse_equivalence.py pins the
+    healthy-graph cases; these are the pathological ones)."""
+
+    @pytest.mark.parametrize("conv", ["gcn", "gat", "gin", "sage"])
+    def test_encoders_match_dense_on_degenerate_cases(self, rng, conv):
+        enc = GNNEncoder([4, 6], np.random.default_rng(0), conv=conv)
+        for name, adj, feats in _cases(rng):
+            out_d = enc(adj, Tensor(feats))
+            out_s = enc(CSRMatrix.from_dense(adj), Tensor(feats))
+            dev = np.abs(out_d.data - out_s.data).max()
+            assert dev < 1e-6, (conv, name, dev)
+            assert np.all(np.isfinite(out_s.data)), (conv, name)
+
+    def test_isolated_node_case_matches_dense(self, rng):
+        # A graph with one edge plus an isolated node: the isolated
+        # node's CSR row stores no entries at all.
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        csr = CSRMatrix.from_dense(adj)
+        assert csr.nnz == 2
+        enc = GNNEncoder([4, 5], np.random.default_rng(1), conv="gcn")
+        feats = rng.normal(size=(3, 4))
+        dev = np.abs(
+            enc(adj, Tensor(feats)).data - enc(csr, Tensor(feats)).data
+        ).max()
+        assert dev < 1e-6
+
+    def test_coarsening_on_degenerate_csr(self, rng):
+        op = GraphCoarsening(4, 2, np.random.default_rng(0))
+        op.eval()
+        for name, adj, feats in _cases(rng):
+            adj_d, h_d, _ = op.coarsen(adj, Tensor(feats))
+            adj_s, h_s, _ = op.coarsen(CSRMatrix.from_dense(adj), Tensor(feats))
+            assert np.abs(adj_d.data - adj_s.data).max() < 1e-6, name
+            assert np.abs(h_d.data - h_s.data).max() < 1e-6, name
+
+    def test_hap_embedder_on_degenerate_csr(self, rng):
+        embedder = build_hap_embedder(4, 6, [3, 1], np.random.default_rng(0))
+        embedder.eval()
+        for name, adj, feats in _cases(rng):
+            out_d = embedder(adj, Tensor(feats))
+            out_s = embedder(CSRMatrix.from_dense(adj), Tensor(feats))
+            assert out_s.shape == (6,)
+            assert np.abs(out_d.data - out_s.data).max() < 1e-6, name
+
+    def test_explicit_self_loops_in_raw_csr(self, rng):
+        # Graph forbids diagonal entries, but a raw CSRMatrix may carry
+        # them (e.g. coarsened structures); with_self_loops must
+        # accumulate onto the existing diagonal exactly like dense + I.
+        dense = np.array([[2.0, 1.0], [1.0, 0.0]])
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(
+            csr.with_self_loops().to_dense(), dense + np.eye(2), atol=1e-12
+        )
+        # and the layers accept such a matrix without densifying
+        from repro.gnn.layers import GCNLayer
+
+        layer = GCNLayer(3, 2, np.random.default_rng(2))
+        out = layer(csr, Tensor(rng.normal(size=(2, 3))))
+        assert np.all(np.isfinite(out.data))
+
+    def test_empty_edge_set_csr_has_zero_nnz(self, rng):
+        csr = CSRMatrix.from_dense(np.zeros((5, 5)))
+        assert csr.nnz == 0
+        from repro.tensor import spmm
+
+        out = spmm(csr, Tensor(rng.normal(size=(5, 3))))
+        np.testing.assert_array_equal(out.data, np.zeros((5, 3)))

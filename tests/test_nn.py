@@ -131,6 +131,72 @@ class TestLayers:
         check_gradients(lambda: bl(a, b).sum(), [a, b, bl.tensor_weight])
 
 
+class TestSparseOps:
+    """Finite-difference gradchecks for the CSR backend primitives
+    (docs/sparse.md): segment_sum, scatter_gather and spmm, including
+    non-square matrices and empty rows/segments."""
+
+    def test_segment_sum_gradcheck(self, rng):
+        from repro.tensor import segment_sum
+
+        values = Tensor(rng.normal(size=(7, 3)), requires_grad=True)
+        # Segment 1 is empty: its output row must stay zero and no
+        # gradient may leak into it.
+        seg = np.array([0, 0, 2, 2, 2, 3, 4])
+        out = segment_sum(values, seg, 5)
+        assert out.shape == (5, 3)
+        np.testing.assert_array_equal(out.data[1], np.zeros(3))
+        check_gradients(lambda: (segment_sum(values, seg, 5) ** 2).sum(), [values])
+
+    def test_scatter_gather_gradcheck_with_duplicates(self, rng):
+        from repro.tensor import scatter_gather
+
+        a = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        idx = np.array([0, 3, 3, 1, 0, 0])  # duplicates accumulate grads
+        out = scatter_gather(a, idx)
+        assert out.shape == (6, 2)
+        check_gradients(lambda: (scatter_gather(a, idx) ** 2).sum(), [a])
+
+    def test_spmm_gradcheck_nonsquare(self, rng):
+        from repro.tensor import CSRMatrix, spmm
+
+        dense = rng.normal(size=(3, 5)) * (rng.random((3, 5)) < 0.5)
+        csr = CSRMatrix.from_dense(dense)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        out = spmm(csr, x)
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data, dense @ x.data, atol=1e-12)
+        check_gradients(lambda: (spmm(csr, x) ** 2).sum(), [x])
+
+    def test_spmm_gradcheck_empty_rows_and_values(self, rng):
+        from repro.tensor import CSRMatrix, spmm
+
+        # Row 1 stores no entries; grads must still be exact.
+        dense = np.array([[0.0, 2.0, 0.0], [0.0, 0.0, 0.0], [1.0, 0.0, 3.0]])
+        csr = CSRMatrix.from_dense(dense)
+        x = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        values = Tensor(rng.normal(size=csr.nnz), requires_grad=True)
+        check_gradients(lambda: (spmm(csr, x) ** 2).sum(), [x])
+        # Differentiable per-edge values (the sparse GAT path).
+        check_gradients(
+            lambda: (spmm(csr, x, values=values) ** 2).sum(), [x, values]
+        )
+
+    def test_segment_softmax_matches_dense_rows(self, rng):
+        from repro.tensor import segment_softmax, softmax
+
+        logits = Tensor(rng.normal(size=6), requires_grad=True)
+        seg = np.array([0, 0, 0, 1, 1, 2])
+        out = segment_softmax(logits, seg, 3).data
+        for s, (lo, hi) in enumerate([(0, 3), (3, 5), (5, 6)]):
+            ref = softmax(Tensor(logits.data[lo:hi]), axis=0).data
+            np.testing.assert_allclose(out[lo:hi], ref, atol=1e-12)
+        w = rng.normal(size=6)
+        check_gradients(
+            lambda: (segment_softmax(logits, seg, 3) * Tensor(w)).sum(), [logits]
+        )
+
+
 class TestOptimizers:
     def test_sgd_minimises_quadratic(self):
         w = Parameter(np.array(5.0))

@@ -12,7 +12,11 @@ when one regresses against the committed baseline:
   cache must stay much cheaper than the builder);
 - ``crossval_parallel_s`` (multi-core hosts only) — the same
   cross-validation fanned out over worker processes, recorded together
-  with ``speedup_vs_serial``.
+  with ``speedup_vs_serial``;
+- ``sparse_step_s`` — one HAP training step (forward + backward) on a
+  2000-node random sparse graph through the CSR backend
+  (docs/sparse.md); guards the gather/scatter kernels against
+  accidental densification or quadratic regressions.
 
 The report is written to ``BENCH_parallel.json`` (schema
 ``repro.bench/v1``: commit, cpu count, timings, speedup) and compared
@@ -102,6 +106,8 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
         1, len(serial_run.task_stats)
     )
 
+    timings["sparse_step_s"] = _sparse_step_time()
+
     speedup = None
     if parallel_workers > 1:
         clear_memory_cache()
@@ -128,6 +134,33 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
         "timings": timings,
         "speedup_vs_serial": speedup,
     }
+
+
+def _sparse_step_time(n: int = 2000, avg_degree: int = 8) -> float:
+    """Seconds for one warm HAP forward+backward on the CSR backend."""
+    import numpy as np
+
+    from repro.core import build_hap_embedder
+    from repro.graph import random_sparse_csr
+    from repro.tensor import Tensor
+
+    embedder = build_hap_embedder(8, 16, [16, 4], np.random.default_rng(0))
+    embedder.eval()
+    csr = random_sparse_csr(n, avg_degree, np.random.default_rng(1))
+    features = np.random.default_rng(2).normal(size=(n, 8))
+
+    def step() -> None:
+        embedder.zero_grad()
+        levels = embedder.embed_levels(csr, Tensor(features))
+        total = levels[0].sum()
+        for level in levels[1:]:
+            total = total + level.sum()
+        total.backward()
+
+    step()  # warm-up outside the timed region
+    start = time.perf_counter()
+    step()
+    return time.perf_counter() - start
 
 
 def compare(report: dict, baseline: dict, threshold: float) -> list[str]:

@@ -9,7 +9,8 @@
 #   gates         the marker suites: equivalence (batched-vs-loop),
 #                 checkpoint (resume bitwise-equivalence), profile
 #                 (instrumentation smoke), parallel (multiprocess
-#                 determinism)
+#                 determinism), sparse (dense-vs-CSR backend
+#                 equivalence)
 #   bench-compare tools/bench_gate.py vs results/bench_baseline.json
 #
 # Usage: tools/ci.sh            (run everything)
@@ -46,6 +47,7 @@ if runs gates; then
     python -m pytest -q -m checkpoint
     python -m pytest -q -m profile
     python -m pytest -q -m parallel
+    python -m pytest -q -m sparse
 fi
 
 if runs bench-compare; then

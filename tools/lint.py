@@ -1,6 +1,6 @@
 """AST-based repository linter (first stage of tools/ci.sh).
 
-Three rules, each targeting a bug class this codebase has actually had
+Four rules, each targeting a bug class this codebase has actually had
 to design around:
 
 - **no-bare-except** — ``except:`` swallows ``KeyboardInterrupt`` and
@@ -16,6 +16,16 @@ to design around:
   stream differs per worker and per schedule, so any code relying on
   it loses bitwise determinism.  Use ``np.random.default_rng`` /
   ``SeedSequence`` streams threaded through call sites instead.
+- **no-densify-in-sparse-path** — the point of the sparse CSR backend
+  (docs/sparse.md) is O(E) peak memory; one stray ``.to_dense()`` or
+  ``np.eye(n)`` inside a sparse code path silently reintroduces the
+  O(N²) allocation the backend exists to avoid, and no functional test
+  catches it (the numbers stay correct).  Inside ``src/`` functions
+  whose names contain ``sparse`` (the naming convention for sparse
+  execution paths), calls to ``.to_dense()`` / ``.toarray()`` /
+  ``.todense()``, ``np.eye`` and square-shaped ``np.zeros/ones/full``
+  allocations are flagged.  Tests and benchmarks are exempt — they
+  densify deliberately to compare against the dense reference.
 
 Usage::
 
@@ -49,6 +59,12 @@ ALLOWED_NP_RANDOM = {
 
 MUTABLE_CALLS = {"list", "dict", "set"}
 
+#: methods that materialise a dense array from a sparse structure
+DENSIFY_METHODS = {"to_dense", "toarray", "todense"}
+
+#: numpy allocators that can build an (N, N) dense matrix
+DENSE_ALLOCATORS = {"zeros", "ones", "full", "empty"}
+
 
 def _is_np_random(node: ast.AST) -> bool:
     """Match ``np.random`` / ``numpy.random`` attribute chains."""
@@ -64,6 +80,10 @@ class Linter(ast.NodeVisitor):
     def __init__(self, path: Path):
         self.path = path
         self.findings: list[tuple[int, str, str]] = []
+        #: densification is only policed in library code; tests and
+        #: benchmarks densify on purpose to compare against the dense path
+        self.police_densify = "src" in path.parts
+        self._sparse_depth = 0
 
     def report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append((node.lineno, rule, message))
@@ -96,10 +116,52 @@ class Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        sparse_scope = self.police_densify and "sparse" in node.name
+        if sparse_scope:
+            self._sparse_depth += 1
         self.generic_visit(node)
+        if sparse_scope:
+            self._sparse_depth -= 1
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._sparse_depth:
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in DENSIFY_METHODS:
+                    self.report(
+                        node, "no-densify-in-sparse-path",
+                        f".{func.attr}() inside a sparse code path "
+                        "materialises the dense (N, N) matrix the CSR "
+                        "backend exists to avoid (docs/sparse.md)",
+                    )
+                elif (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in ("np", "numpy")
+                ):
+                    if func.attr == "eye":
+                        self.report(
+                            node, "no-densify-in-sparse-path",
+                            "np.eye allocates a dense (N, N) matrix inside "
+                            "a sparse code path; use CSRMatrix.with_self_loops "
+                            "or index arithmetic instead (docs/sparse.md)",
+                        )
+                    elif func.attr in DENSE_ALLOCATORS and node.args:
+                        shape = node.args[0]
+                        if (
+                            isinstance(shape, ast.Tuple)
+                            and len(shape.elts) == 2
+                            and ast.dump(shape.elts[0]) == ast.dump(shape.elts[1])
+                        ):
+                            self.report(
+                                node, "no-densify-in-sparse-path",
+                                f"np.{func.attr} with a square (n, n) shape "
+                                "inside a sparse code path is an O(N²) "
+                                "allocation (docs/sparse.md)",
+                            )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
