@@ -1,0 +1,70 @@
+"""Online-serving throughput: micro-batched vs one-request-at-a-time.
+
+Drives the closed-loop load generator (docs/serving.md) against two
+:class:`repro.serve.InferenceService` instances over the same trained
+HAP classifier — ``max_batch_size=1`` (the serial baseline: every
+request pays its own forward) and ``max_batch_size=16`` (requests
+coalesce into padded batches).  The acceptance bar for this
+reproduction is micro-batched throughput *strictly above* serial, with
+request latency percentiles and the embed-cache hit rate recorded
+alongside.
+
+The same measurement gates CI through ``tools/bench_gate.py``
+(``serve_p50_s`` / ``serve_p99_s`` timings plus the ``serving`` report
+section compared against ``results/bench_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import persist_rows, run_once
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_gate  # noqa: E402
+
+
+@pytest.mark.bench
+def test_serve_throughput(benchmark):
+    serving = run_once(benchmark, bench_gate.measure_serving)
+
+    serial = serving["serial"]
+    batched = serving["batched"]
+    embed = serving["embed"]
+    print(
+        f"\nserial:        {serial['throughput_rps']:8.0f} req/s  "
+        f"p50 {serial['p50_s'] * 1e3:6.2f}ms  p99 {serial['p99_s'] * 1e3:6.2f}ms"
+    )
+    print(
+        f"micro-batched: {batched['throughput_rps']:8.0f} req/s  "
+        f"p50 {batched['p50_s'] * 1e3:6.2f}ms  p99 {batched['p99_s'] * 1e3:6.2f}ms"
+        f"  (mean batch {batched['mean_batch_size']:.1f}, "
+        f"{serving['batching_speedup']:.2f}x)"
+    )
+    print(
+        f"embed workload: {embed['throughput_rps']:8.0f} req/s, "
+        f"cache hit rate {serving['cache_hit_rate']:.0%}"
+    )
+    persist_rows(
+        "serve_throughput",
+        {
+            "serial_throughput_rps": serial["throughput_rps"],
+            "batched_throughput_rps": batched["throughput_rps"],
+            "batching_speedup": serving["batching_speedup"],
+            "serve_p50_s": batched["p50_s"],
+            "serve_p99_s": batched["p99_s"],
+            "mean_batch_size": batched["mean_batch_size"],
+            "cache_hit_rate": serving["cache_hit_rate"],
+        },
+    )
+
+    assert serial["errors"] == 0 and batched["errors"] == 0
+    # the tentpole claim: request coalescing must strictly beat serving
+    # one request at a time on the same model and workload
+    assert batched["throughput_rps"] > serial["throughput_rps"]
+    assert batched["mean_batch_size"] > 1.0
+    assert serving["cache_hit_rate"] > 0.5

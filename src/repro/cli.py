@@ -10,6 +10,8 @@ Runs the three downstream tasks and dataset statistics from the shell:
     python -m repro classify --checkpoint-dir runs/mutag --checkpoint-every 10
     python -m repro classify --checkpoint-dir runs/mutag --resume auto
     python -m repro crossval --method HAP --dataset MUTAG --workers 4
+    python -m repro serve --method HAP --dataset IMDB-B --requests 200
+    python -m repro query --weights model.npz --mode top_k --k 3
 """
 
 from __future__ import annotations
@@ -22,12 +24,13 @@ import numpy as np
 from repro.data.datasets import DATASET_BUILDERS
 from repro.evaluation.harness import (
     dataset_statistics_all,
+    prepare_dataset,
     run_classification,
     run_matching,
     run_similarity,
 )
 from repro.models import zoo
-from repro.nn import save_module
+from repro.nn import load_module, save_module
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -158,7 +161,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSONL run-log per fold plus a merged.jsonl",
     )
 
+    serve = sub.add_parser(
+        "serve", help="micro-batched inference load test (docs/serving.md)"
+    )
+    _add_serving_model(serve)
+    serve.add_argument(
+        "--kind", default="classify", choices=["classify", "embed", "top_k"]
+    )
+    serve.add_argument("--clients", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=100, help="total request count")
+    serve.add_argument("--batch-size", type=int, default=16)
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a batch is held open for companions",
+    )
+    serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument("--k", type=int, default=5, help="neighbours per top_k request")
+
+    query = sub.add_parser(
+        "query", help="one-shot classify/embed/top-k through the service"
+    )
+    _add_serving_model(query)
+    query.add_argument(
+        "--mode", default="classify", choices=["classify", "embed", "top_k"]
+    )
+    query.add_argument(
+        "--index", type=int, default=0, help="which dataset graph to query"
+    )
+    query.add_argument("--k", type=int, default=3, help="neighbours for --mode top_k")
+
     return parser
+
+
+def _add_serving_model(parser: argparse.ArgumentParser) -> None:
+    """Model/dataset flags shared by the ``serve`` and ``query`` commands."""
+    parser.add_argument("--method", default="HAP", help="model name (see repro.models.zoo)")
+    parser.add_argument(
+        "--dataset",
+        default="IMDB-B",
+        choices=[n for n, v in DATASET_BUILDERS.items() if v[2]],
+    )
+    parser.add_argument("--num-graphs", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--hidden", type=int, default=16)
+    parser.add_argument(
+        "--weights",
+        default=None,
+        metavar="PATH",
+        help="serve weights saved by `classify --save` (default: untrained)",
+    )
+
+
+def _serving_model(args):
+    """``(graphs, model)`` for the serve/query commands."""
+    graphs, dim, num_classes = prepare_dataset(
+        args.dataset, args.num_graphs, np.random.default_rng(args.seed)
+    )
+    model = zoo.make_classifier(
+        args.method, dim, num_classes, np.random.default_rng(args.seed),
+        hidden=args.hidden,
+    )
+    if args.weights:
+        load_module(model, args.weights)
+    model.eval()
+    return graphs, model
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -257,6 +325,67 @@ def main(argv: list[str] | None = None) -> int:
                 f"busy {run.busy_time_s:.2f}s, "
                 f"efficiency {run.efficiency:.0%}"
             )
+        return 0
+
+    if args.command == "serve":
+        from repro.serve import InferenceService, run_closed_loop
+
+        graphs, model = _serving_model(args)
+        with InferenceService(
+            model,
+            max_batch_size=args.batch_size,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            cache_size=args.cache_size,
+        ) as service:
+            if args.kind == "top_k":
+                for i, graph in enumerate(graphs):
+                    service.add_to_index(i, graph)
+            report = run_closed_loop(
+                service,
+                graphs,
+                kind=args.kind,
+                clients=args.clients,
+                requests_per_client=max(1, args.requests // args.clients),
+                k=args.k,
+            )
+        print(
+            f"{args.method} on {args.dataset}: served {report.requests} "
+            f"{args.kind} requests from {report.clients} clients "
+            f"({report.errors} errors)"
+        )
+        print(
+            f"throughput {report.throughput_rps:.1f} req/s, "
+            f"p50 {report.p50_s * 1e3:.2f} ms, p99 {report.p99_s * 1e3:.2f} ms"
+        )
+        print(
+            f"batches {report.batches} (mean size {report.mean_batch_size:.1f}), "
+            f"cache hit rate {report.cache_hit_rate:.0%}"
+        )
+        return 0
+
+    if args.command == "query":
+        from repro.serve import InferenceService
+
+        graphs, model = _serving_model(args)
+        graph = graphs[args.index % len(graphs)]
+        with InferenceService(model) as service:
+            if args.mode == "classify":
+                print(f"graph {args.index}: predicted class {service.classify(graph)}")
+            elif args.mode == "embed":
+                result = service.embed(graph)
+                print(
+                    f"graph {args.index}: {result.dim}-d embedding "
+                    f"({result.schema}), graph {result.graph_hash[:12]}…, "
+                    f"model {result.model_fingerprint[:12]}…"
+                )
+            else:
+                for i, candidate in enumerate(graphs):
+                    service.add_to_index(i, candidate)
+                for neighbor in service.top_k(graph, args.k):
+                    print(
+                        f"graph {args.index} ~ graph {neighbor.key}: "
+                        f"distance {neighbor.distance:.4f}"
+                    )
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")

@@ -117,6 +117,18 @@ class HierarchicalEmbedder(Module):
         ``(B, F)`` for a padded batch."""
         return self.embed_levels(adjacency, h, mask)[-1]
 
+    def embed(self, graph, backend: str = "dense"):
+        """Uniform single-graph embedding contract (docs/serving.md).
+
+        Returns a versioned :class:`~repro.models.common.EmbeddingResult`
+        whose vector is the sum of the level representations — the same
+        collapse the classifier head and the hierarchical similarity
+        measures apply.
+        """
+        from repro.models.common import embedding_result, level_sum_vector
+
+        return embedding_result(self, graph, level_sum_vector(self, graph, backend))
+
     # ------------------------------------------------------------------
     # Deprecated batched aliases (docs/batching.md)
     # ------------------------------------------------------------------

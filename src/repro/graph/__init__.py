@@ -46,9 +46,11 @@ from repro.graph.kernels import (
 )
 from repro.graph.isomorphism import VF2Matcher, is_isomorphic, subgraph_is_isomorphic
 from repro.graph.edit_distance import exact_ged
+from repro.graph.hashing import graph_hash
 
 __all__ = [
     "Graph",
+    "graph_hash",
     "barabasi_albert",
     "complete_graph",
     "cycle_graph",

@@ -12,7 +12,14 @@
   Tables 3-7 (all baselines, HAP, and the HAP-x ablation variants).
 """
 
-from repro.models.common import euclidean_distance, graph_inputs
+from repro.models.common import (
+    EMBEDDING_SCHEMA,
+    EmbeddingResult,
+    embedding_result,
+    euclidean_distance,
+    graph_inputs,
+    level_sum_vector,
+)
 from repro.models.embedders import FlatEmbedder
 from repro.models.classifier import GraphClassifier
 from repro.models.matcher import MatchingModel
@@ -22,8 +29,12 @@ from repro.models.simgnn import SimGNN
 from repro.models import zoo
 
 __all__ = [
+    "EMBEDDING_SCHEMA",
+    "EmbeddingResult",
+    "embedding_result",
     "euclidean_distance",
     "graph_inputs",
+    "level_sum_vector",
     "FlatEmbedder",
     "GraphClassifier",
     "MatchingModel",

@@ -11,10 +11,15 @@ import numpy as np
 
 from repro.data.batching import PaddedBatch, pad_graphs
 from repro.graph.graph import Graph
-from repro.models.common import graph_inputs
+from repro.models.common import (
+    EmbeddingResult,
+    embedding_result,
+    graph_inputs,
+    level_sum_vector,
+)
 from repro.nn.layers import Linear
 from repro.nn.losses import cross_entropy, cross_entropy_batched
-from repro.nn.module import Module
+from repro.nn.module import Module, warn_deprecated
 from repro.tensor import Tensor, concat, no_grad, relu, softmax
 
 
@@ -142,28 +147,80 @@ class GraphClassifier(Module):
             loss = loss + aux * 0.1
         return loss
 
-    def predict_batch(self, graphs) -> np.ndarray:
-        """Predicted class per graph, via one padded batched forward."""
-        with no_grad():
-            return np.argmax(self.logits_batched(graphs).data, axis=-1)
+    # ------------------------------------------------------------------
+    # Unified prediction surface (docs/serving.md)
+    # ------------------------------------------------------------------
+    def predict(self, inputs=None, **legacy):
+        """Predicted class(es) for ``Graph | list[Graph] | PaddedBatch``.
 
-    def predict(self, graph: Graph) -> int:
+        The single entry point of the prediction surface: a bare
+        :class:`Graph` returns a python ``int``; a sequence of graphs or
+        a :class:`~repro.data.batching.PaddedBatch` returns a ``(B,)``
+        int array computed through one batched forward (the padded path
+        on the dense backend, the per-graph CSR loop on the sparse one —
+        the dispatch callers previously hand-rolled via
+        ``predict_batch``/``backend=`` forks).
+        """
+        if legacy:
+            unknown = set(legacy) - {"graph", "graphs"}
+            if unknown or inputs is not None or len(legacy) > 1:
+                raise TypeError(
+                    f"predict() got unexpected keyword arguments {sorted(legacy)}"
+                )
+            (name, inputs), = legacy.items()
+            warn_deprecated(
+                f"GraphClassifier.predict({name}=...)",
+                "positional GraphClassifier.predict(inputs)",
+            )
+        if inputs is None:
+            raise TypeError("predict() needs a Graph, list of Graphs or PaddedBatch")
         with no_grad():
-            return int(np.argmax(self.logits(graph).data))
+            if isinstance(inputs, Graph):
+                return int(np.argmax(self.logits(inputs).data))
+            if not isinstance(inputs, PaddedBatch):
+                inputs = list(inputs)
+            try:
+                return np.argmax(self.logits_batched(inputs).data, axis=-1)
+            except NotImplementedError:
+                # Loop-only embedders (the flat Table-3 baselines have no
+                # padded path); an explicit PaddedBatch cannot fall back.
+                if isinstance(inputs, PaddedBatch):
+                    raise
+                return np.array(
+                    [int(np.argmax(self.logits(g).data)) for g in inputs],
+                    dtype=np.int64,
+                )
+
+    def predict_batch(self, graphs) -> np.ndarray:
+        """Deprecated alias — :meth:`predict` now accepts batches directly."""
+        warn_deprecated("GraphClassifier.predict_batch", "GraphClassifier.predict")
+        if not isinstance(graphs, PaddedBatch):
+            graphs = list(graphs)
+        return self.predict(graphs)
 
     def predict_proba(self, graph: Graph) -> np.ndarray:
         with no_grad():
             return softmax(self.logits(graph), axis=-1).data.copy()
 
-    def embed(self, graph: Graph) -> np.ndarray:
-        """Graph-level embedding (used for the t-SNE figures).
+    def logits_from_embedding(self, vector: np.ndarray) -> Tensor:
+        """Class logits from a precomputed graph embedding.
 
-        Matches :meth:`logits`: the sum over hierarchy levels.
+        The serving cache path (docs/serving.md): a cached
+        :meth:`embed` vector re-enters the head here, reproducing
+        :meth:`logits` bit for bit without re-running the embedder.
         """
-        adjacency, features = graph_inputs(graph, self.backend)
         with no_grad():
-            levels = self.embedder.embed_levels(adjacency, features)
-            total = levels[0].data.copy()
-            for level in levels[1:]:
-                total += level.data
-        return total
+            return self.fc2(relu(self.fc1(Tensor(np.asarray(vector)))))
+
+    def embed(self, graph: Graph) -> EmbeddingResult:
+        """Graph-level embedding with cacheable provenance.
+
+        The vector is the sum over hierarchy levels — exactly the head
+        input of :meth:`logits` — wrapped in a versioned
+        :class:`~repro.models.common.EmbeddingResult` (it coerces to the
+        raw array under numpy ops, so t-SNE-style consumers are
+        unaffected).
+        """
+        return embedding_result(
+            self, graph, level_sum_vector(self.embedder, graph, self.backend)
+        )

@@ -6,6 +6,10 @@ All embedders share one protocol:
   vectors, one per hierarchy level (flat embedders return a single
   level), enabling the paper's hierarchical similarity measure;
 - calling the embedder returns the final level;
+- ``embed(graph)`` returns a versioned
+  :class:`~repro.models.common.EmbeddingResult` (level-summed vector +
+  graph hash + model fingerprint) — the uniform single-graph contract
+  the serving layer consumes (docs/serving.md);
 - ``out_features`` gives the final embedding dimension.
 
 ``HierarchicalEmbedder`` (in :mod:`repro.core.hap`) covers every
@@ -16,6 +20,8 @@ baselines of Table 3.
 from __future__ import annotations
 
 from repro.gnn.encoder import GNNEncoder
+from repro.graph.graph import Graph
+from repro.models.common import EmbeddingResult, embedding_result, level_sum_vector
 from repro.nn.module import Module
 from repro.pooling.base import Readout
 from repro.tensor import Tensor, as_tensor
@@ -43,6 +49,10 @@ class FlatEmbedder(Module):
     def forward(self, adjacency, features: Tensor) -> Tensor:
         return self.embed_levels(adjacency, features)[-1]
 
+    def embed(self, graph: Graph) -> EmbeddingResult:
+        """Uniform single-graph embedding contract (docs/serving.md)."""
+        return embedding_result(self, graph, level_sum_vector(self, graph))
+
     def auxiliary_loss(self) -> Tensor | None:
         return None
 
@@ -69,6 +79,10 @@ class RawReadoutEmbedder(Module):
 
     def forward(self, adjacency, features: Tensor) -> Tensor:
         return self.embed_levels(adjacency, features)[-1]
+
+    def embed(self, graph: Graph) -> EmbeddingResult:
+        """Uniform single-graph embedding contract (docs/serving.md)."""
+        return embedding_result(self, graph, level_sum_vector(self, graph))
 
     def auxiliary_loss(self) -> Tensor | None:
         return None

@@ -98,6 +98,27 @@ class GMN(Module):
             [self.default_readout(adj2, h2)],
         )
 
+    def embed(self, graph):
+        """Uniform single-graph embedding contract (docs/serving.md).
+
+        GMN embeddings are pair-conditioned; for a standalone graph the
+        canonical choice is to condition the graph on *itself* (the
+        cross-graph attention then contrasts the graph with an exact
+        copy), which is deterministic and lets GMN feed the same cache
+        and similarity index as the siamese models.  The vector is the
+        sum over the readout levels.
+        """
+        from repro.models.common import embedding_result, graph_inputs
+        from repro.tensor import no_grad
+
+        adjacency, features = graph_inputs(graph)
+        with no_grad():
+            levels, _ = self.embed_pair(adjacency, features, adjacency, features)
+            vector = levels[0].data.copy()
+            for level in levels[1:]:
+                vector += level.data
+        return embedding_result(self, graph, vector)
+
     def auxiliary_loss(self) -> Tensor | None:
         if self.pooling is not None:
             return getattr(self.pooling, "auxiliary_loss", lambda: None)()

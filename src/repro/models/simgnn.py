@@ -59,6 +59,19 @@ class SimGNN(Module):
         h = self.encoder(adjacency, features)
         return self.default_readout(adjacency, h)
 
+    def embed(self, graph: Graph):
+        """Uniform single-graph embedding contract (docs/serving.md).
+
+        The vector is the NTN-input graph embedding (attention readout,
+        or the final pooling level for SimGNN-HAP), wrapped in a
+        versioned :class:`~repro.models.common.EmbeddingResult`.
+        """
+        from repro.models.common import embedding_result
+
+        with no_grad():
+            vector = self.graph_embedding(graph).data.copy()
+        return embedding_result(self, graph, vector)
+
     def pair_score(self, g1: Graph, g2: Graph) -> Tensor:
         """Predicted similarity in (0, 1)."""
         e1 = self.graph_embedding(g1)

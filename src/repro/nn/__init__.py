@@ -9,7 +9,7 @@ from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.layers import Linear, MLP, Dropout, LSTMCell, Bilinear
 from repro.nn.init import glorot_uniform, glorot_normal, zeros, uniform
 from repro.nn.optim import SGD, Adam, Optimizer
-from repro.nn.serialization import save_module, load_module
+from repro.nn.serialization import save_module, load_module, module_fingerprint
 from repro.nn.losses import (
     binary_cross_entropy,
     cross_entropy,
@@ -38,6 +38,7 @@ __all__ = [
     "Optimizer",
     "save_module",
     "load_module",
+    "module_fingerprint",
     "binary_cross_entropy",
     "cross_entropy",
     "cross_entropy_batched",

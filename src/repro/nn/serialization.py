@@ -6,6 +6,7 @@ only parameter arrays and a small JSON header travel.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -15,6 +16,25 @@ from repro.nn.module import Module
 
 #: bumped when the on-disk layout changes
 FORMAT_VERSION = 1
+
+#: bumped if the fingerprint byte layout ever changes
+FINGERPRINT_VERSION = b"repro.fingerprint/v1"
+
+
+def module_fingerprint(module: Module) -> str:
+    """Hex digest of a module's parameter names, shapes and values.
+
+    Any weight update changes the fingerprint, which is what lets the
+    serving layer (docs/serving.md) key its embedding cache by
+    ``(model fingerprint, graph hash)``: entries computed by stale
+    weights can never be returned for the updated model.
+    """
+    digest = hashlib.sha256(FINGERPRINT_VERSION)
+    for name, param in sorted(module.named_parameters()):
+        digest.update(name.encode("utf-8"))
+        digest.update(str(param.data.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(param.data, dtype=np.float64).tobytes())
+    return digest.hexdigest()
 
 _HEADER_KEY = "__repro_header__"
 

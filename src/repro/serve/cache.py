@@ -1,0 +1,104 @@
+"""LRU cache of graph embeddings, keyed by content (docs/serving.md).
+
+Entries are keyed ``(model_fingerprint, graph_hash)``:
+
+- the *graph hash* (:func:`repro.graph.hashing.graph_hash`) covers
+  exactly the forward-pass inputs, so two structurally identical
+  featured graphs — including a ``Graph`` rebuilt from its CSR form —
+  share one entry;
+- the *model fingerprint*
+  (:func:`repro.nn.serialization.module_fingerprint`) covers the
+  producing weights, so an updated model can never be served a stale
+  vector.  :meth:`EmbeddingCache.purge_stale` additionally drops
+  entries for old fingerprints eagerly (they could otherwise linger
+  until LRU eviction).
+
+The cache stores and returns defensive copies: a served vector must be
+bitwise-identical to the offline ``embed()`` result forever, even if a
+caller mutates what it was handed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+
+class EmbeddingCache:
+    """Thread-safe LRU map ``(model_fingerprint, graph_hash) -> vector``."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple[str, str], np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, fingerprint: str, graph_hash: str) -> np.ndarray | None:
+        """The cached vector (a copy), or None; counts the hit or miss."""
+        key = (fingerprint, graph_hash)
+        with self._lock:
+            vector = self._entries.get(key)
+            if vector is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return vector.copy()
+
+    def put(self, fingerprint: str, graph_hash: str, vector: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the least recent."""
+        key = (fingerprint, graph_hash)
+        with self._lock:
+            self._entries[key] = np.array(vector, dtype=np.float64, copy=True)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def purge_stale(self, fingerprint: str) -> int:
+        """Drop every entry produced by a *different* fingerprint.
+
+        Called by the service when it observes a weight update; returns
+        the number of invalidated entries.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k[0] != fingerprint]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Current keys, least- to most-recently used (for tests)."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -180,13 +180,21 @@ class TestFullModelEquivalence:
         batched = batch_model.batch_loss(graphs)
         assert abs(float(total.data) - float(batched.data)) < TOL
 
-    def test_predict_batch_matches_predict(self, rng):
+    def test_predict_on_a_list_matches_per_graph_predict(self, rng):
         graphs = [g.with_label(0) for g in _ragged_batch(rng)]
         model = self._models(41)
         model.eval()
-        batched = model.predict_batch(graphs)
+        batched = model.predict(graphs)
         loop = np.array([model.predict(g) for g in graphs])
         np.testing.assert_array_equal(batched, loop)
+
+    def test_predict_batch_is_a_deprecated_alias_of_predict(self, rng):
+        graphs = [g.with_label(0) for g in _ragged_batch(rng)]
+        model = self._models(41)
+        model.eval()
+        with pytest.warns(DeprecationWarning, match="predict_batch"):
+            batched = model.predict_batch(graphs)
+        np.testing.assert_array_equal(batched, model.predict(graphs))
 
     def test_iter_padded_batches_covers_dataset(self, rng):
         graphs = [attach_degree_features(g) for g in make_imdb_b_like(7, rng)]

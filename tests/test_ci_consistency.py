@@ -103,7 +103,14 @@ class TestWorkflowShape:
             line.split(":")[0].strip()
             for line in config["tool"]["pytest"]["ini_options"]["markers"]
         }
-        gate_markers = {"equivalence", "checkpoint", "profile", "parallel", "sparse"}
+        gate_markers = {
+            "equivalence",
+            "checkpoint",
+            "profile",
+            "parallel",
+            "sparse",
+            "serve",
+        }
         assert gate_markers <= registered
         text = CI_SH.read_text()
         for marker in gate_markers:

@@ -72,10 +72,16 @@ class TestGraphClassifier:
         with pytest.raises(ValueError):
             model.loss(g)
 
-    def test_embed_returns_numpy(self, rng):
+    def test_embed_returns_versioned_result(self, rng):
+        from repro.models import EMBEDDING_SCHEMA, EmbeddingResult
+
         model = self._model(rng, "HAP")
         emb = model.embed(_featured_graph(rng))
-        assert isinstance(emb, np.ndarray)
+        assert isinstance(emb, EmbeddingResult)
+        assert emb.schema == EMBEDDING_SCHEMA
+        assert emb.graph_hash and emb.model_fingerprint
+        # numpy consumers see the raw vector (docs/serving.md)
+        assert np.asarray(emb).ndim == 1
 
     def test_class_count_validation(self, rng):
         with pytest.raises(ValueError):

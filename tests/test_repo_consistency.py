@@ -28,7 +28,7 @@ class TestReadmeReferences:
         for doc in ("api.md", "datasets.md", "reproducing.md",
                     "design_notes.md", "tutorial_custom_pooling.md",
                     "batching.md", "observability.md", "checkpointing.md",
-                    "parallelism.md", "sparse.md"):
+                    "parallelism.md", "sparse.md", "serving.md"):
             assert (REPO / "docs" / doc).is_file(), doc
 
 
@@ -78,7 +78,7 @@ class TestPytestMarkers:
 
     def test_new_suite_markers_registered(self):
         assert {
-            "checkpoint", "faultinject", "parallel", "bench", "sparse"
+            "checkpoint", "faultinject", "parallel", "bench", "sparse", "serve"
         } <= self._registered_markers()
 
 

@@ -1,0 +1,287 @@
+"""Serving gate: the online service must be faithful to the offline API.
+
+The contract under test (docs/serving.md):
+
+- every response is **bitwise identical** to what the offline
+  ``predict()`` / ``embed()`` surface returns — on the cache-miss path
+  *and* the cache-hit path;
+- concurrent requests are coalesced into micro-batches (fewer batches
+  than requests under load);
+- ``top_k`` retrieval is deterministic and self-nearest;
+- one bad request fails its own future, never the batch;
+- per-request metrics and spans land in the observe registry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.evaluation.harness import prepare_dataset
+from repro.models.zoo import make_classifier
+from repro.observe import MetricsRegistry, set_registry
+from repro.serve import (
+    EmbeddingIndex,
+    InferenceService,
+    Neighbor,
+    build_index,
+    run_closed_loop,
+)
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture()
+def registry():
+    """A fresh metrics registry per test (restores the old one after)."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    graphs, dim, classes = prepare_dataset("IMDB-B", 20, np.random.default_rng(7))
+    return graphs, dim, classes
+
+
+@pytest.fixture(scope="module")
+def model(corpus):
+    graphs, dim, classes = corpus
+    model = make_classifier("HAP", dim, classes, np.random.default_rng(3))
+    model.eval()
+    return model
+
+
+class TestFaithfulness:
+    def test_classify_matches_offline_predict(self, registry, model, corpus):
+        graphs = corpus[0]
+        offline = [model.predict(g) for g in graphs]
+        with InferenceService(model, max_batch_size=8) as service:
+            assert service.classify_many(graphs) == offline
+
+    def test_embed_is_bitwise_offline_on_miss_and_hit(self, registry, model, corpus):
+        graphs = corpus[0]
+        offline = np.asarray(model.embed(graphs[0]))
+        with InferenceService(model) as service:
+            miss = service.embed(graphs[0])
+            hit = service.embed(graphs[0])
+        assert np.array_equal(np.asarray(miss), offline)  # bitwise, not allclose
+        assert np.array_equal(np.asarray(hit), offline)
+        assert service.cache.hits == 1 and service.cache.misses == 1
+        assert miss.graph_hash == hit.graph_hash
+        assert miss.model_fingerprint == hit.model_fingerprint
+
+    def test_classify_through_cached_embedding_matches(self, registry, model, corpus):
+        graphs = corpus[0]
+        offline = [model.predict(g) for g in graphs[:6]]
+        with InferenceService(model) as service:
+            for graph in graphs[:6]:
+                service.embed(graph)  # populate the cache
+            hits_before = service.cache.hits
+            served = [service.classify(g) for g in graphs[:6]]
+        assert served == offline
+        assert service.cache.hits > hits_before  # head ran from the cache
+
+    def test_weight_update_invalidates_served_embeddings(
+        self, registry, model, corpus
+    ):
+        graphs = corpus[0]
+        parameter = dict(model.named_parameters())["fc1.weight"]
+        with InferenceService(model) as service:
+            before = service.embed(graphs[0])
+            parameter.data += 1.0
+            try:
+                after = service.embed(graphs[0])
+            finally:
+                parameter.data -= 1.0
+        assert after.model_fingerprint != before.model_fingerprint
+        # the stale entry was purged, not served
+        assert service.cache.stats()["size"] == 1
+        recovered = service.cache.get(before.model_fingerprint, before.graph_hash)
+        assert recovered is None
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_coalesce(self, registry, model, corpus):
+        graphs = corpus[0]
+        with InferenceService(model, max_batch_size=8, max_wait_s=0.01) as service:
+            barrier = threading.Barrier(8)
+            results = [None] * 8
+
+            def client(i):
+                barrier.wait()
+                results[i] = service.classify(graphs[i % len(graphs)])
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        assert all(r is not None for r in results)
+        assert stats["batches"] < 8  # strictly fewer batches than requests
+        assert stats["counters"]["serve/requests_classify"] == 8
+
+    def test_serial_service_runs_one_request_per_batch(self, registry, model, corpus):
+        graphs = corpus[0]
+        with InferenceService(model, max_batch_size=1, max_wait_s=0.0) as service:
+            for graph in graphs[:5]:
+                service.classify(graph)
+            stats = service.stats()
+        assert stats["batches"] == 5
+        assert stats["batch_size"]["max"] == 1
+
+    def test_loadgen_reports_percentiles_and_batching(self, registry, model, corpus):
+        graphs = corpus[0]
+        with InferenceService(model, max_batch_size=8, max_wait_s=0.002) as service:
+            report = run_closed_loop(
+                service, graphs[:8], kind="classify", clients=4, requests_per_client=4
+            )
+        assert report.requests == 16 and report.errors == 0
+        assert report.throughput_rps > 0
+        assert 0 < report.p50_s <= report.p99_s
+        assert report.mean_batch_size > 1.0  # micro-batching engaged
+        payload = report.to_dict()
+        assert payload["kind"] == "classify" and payload["clients"] == 4
+
+    def test_max_wait_deadline_flushes_a_lone_request(self, registry, model, corpus):
+        graphs = corpus[0]
+        with InferenceService(model, max_batch_size=64, max_wait_s=0.001) as service:
+            # far fewer requests than max_batch_size: only the deadline
+            # can flush them.
+            assert service.classify(graphs[0]) == model.predict(graphs[0])
+
+
+class TestTopK:
+    def test_query_is_its_own_nearest_neighbour(self, registry, model, corpus):
+        graphs = corpus[0]
+        with InferenceService(model) as service:
+            for i, graph in enumerate(graphs[:10]):
+                service.add_to_index(i, graph)
+            neighbors = service.top_k(graphs[4], 3)
+        assert len(neighbors) == 3
+        assert neighbors[0] == Neighbor(key=4, distance=0.0)
+        distances = [n.distance for n in neighbors]
+        assert distances == sorted(distances)
+
+    def test_offline_build_index_matches_service_retrieval(self, model, corpus):
+        graphs = corpus[0]
+        index = build_index(model, graphs[:10])
+        with InferenceService(model, index=index) as service:
+            online = service.top_k(graphs[2], 4)
+        offline = index.top_k(np.asarray(model.embed(graphs[2])), 4)
+        assert online == offline
+
+    def test_index_rejects_wrong_dimension(self):
+        index = EmbeddingIndex(4)
+        with pytest.raises(ValueError, match="dimension"):
+            index.add("a", np.zeros(5))
+        index.add("a", np.zeros(4))
+        with pytest.raises(ValueError, match="dimension"):
+            index.top_k(np.zeros(3), 1)
+
+
+class TestErrorHandling:
+    def test_unknown_kind_rejected_at_submit(self, registry, model):
+        with InferenceService(model) as service:
+            with pytest.raises(ValueError, match="unknown request kind"):
+                service.submit("rank", None)
+
+    def test_non_graph_rejected_at_submit(self, registry, model):
+        with InferenceService(model) as service:
+            with pytest.raises(TypeError, match="expected a Graph"):
+                service.submit("classify", np.zeros(3))
+
+    def test_top_k_without_index_fails_only_its_future(
+        self, registry, model, corpus
+    ):
+        graphs = corpus[0]
+        with InferenceService(model) as service:
+            with pytest.raises(RuntimeError, match="no similarity index"):
+                service.top_k(graphs[0], 2)
+            # the service is still healthy afterwards
+            assert service.classify(graphs[0]) == model.predict(graphs[0])
+
+    def test_submit_after_close_raises(self, registry, model, corpus):
+        graphs = corpus[0]
+        service = InferenceService(model).start()
+        service.close()
+        with pytest.raises(RuntimeError, match="not running"):
+            service.submit("classify", graphs[0])
+
+    def test_close_drains_outstanding_requests(self, registry, model, corpus):
+        graphs = corpus[0]
+        service = InferenceService(model, max_batch_size=4, max_wait_s=0.05).start()
+        futures = [service.submit("classify", g) for g in graphs[:4]]
+        service.close()  # must answer everything already queued
+        assert [f.result(0) for f in futures] == [model.predict(g) for g in graphs[:4]]
+
+    def test_constructor_validation(self, model):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            InferenceService(model, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            InferenceService(model, max_wait_s=-1.0)
+
+
+class TestDeprecatedPredictBatchLint:
+    """tools/lint.py flags predict_batch call sites inside src/."""
+
+    @pytest.fixture()
+    def lint(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+        import lint
+
+        yield lint
+        sys.path.pop(0)
+
+    def test_flags_shim_calls_in_library_code(self, lint, tmp_path):
+        offender = tmp_path / "src" / "repro" / "thing.py"
+        offender.parent.mkdir(parents=True)
+        offender.write_text("def f(m, gs):\n    return m.predict_batch(gs)\n")
+        findings = lint.lint_file(offender)
+        assert len(findings) == 1
+        assert "no-deprecated-predict-batch" in findings[0]
+
+    def test_tests_may_exercise_the_shim(self, lint, tmp_path):
+        exempt = tmp_path / "tests" / "test_thing.py"
+        exempt.parent.mkdir(parents=True)
+        exempt.write_text("def f(m, gs):\n    return m.predict_batch(gs)\n")
+        assert lint.lint_file(exempt) == []
+
+    def test_src_tree_is_currently_clean(self, lint):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        offenders = [
+            finding
+            for finding in lint.lint_paths([src])
+            if "no-deprecated-predict-batch" in finding
+        ]
+        assert offenders == []
+
+
+class TestObservability:
+    def test_metrics_and_spans_recorded(self, registry, model, corpus):
+        graphs = corpus[0]
+        with InferenceService(model) as service:
+            service.classify(graphs[0])
+            service.embed(graphs[1])
+            stats = service.stats()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve/requests_classify"] == 1
+        assert snapshot["counters"]["serve/requests_embed"] == 1
+        assert snapshot["counters"]["serve/batches"] >= 1
+        assert snapshot["histograms"]["serve/latency_s"]["count"] == 2
+        assert snapshot["histograms"]["serve/batch_size"]["count"] >= 1
+        assert "serve/queue_depth" in snapshot["gauges"]
+        spans = stats["last_batch_spans"]
+        assert spans["name"] == "serve/batch"
+        child_names = {child["name"] for child in spans["children"]}
+        assert "serve/fingerprint" in child_names

@@ -198,7 +198,7 @@ class TestFullModelEquivalence:
         dense_model.eval()
         sparse_model.eval()
         np.testing.assert_array_equal(
-            dense_model.predict_batch(graphs), sparse_model.predict_batch(graphs)
+            dense_model.predict(graphs), sparse_model.predict(graphs)
         )
         for g in graphs:
             assert dense_model.predict(g) == sparse_model.predict(g)

@@ -17,6 +17,13 @@ when one regresses against the committed baseline:
   2000-node random sparse graph through the CSR backend
   (docs/sparse.md); guards the gather/scatter kernels against
   accidental densification or quadratic regressions.
+- ``serve_p50_s`` / ``serve_p99_s`` — closed-loop request latency of
+  the micro-batched inference service (docs/serving.md) under
+  concurrent clients, plus a ``serving`` report section with serial
+  vs micro-batched throughput and the embed-cache hit rate.  The gate
+  *requires* micro-batched throughput strictly above the serial
+  one-request-at-a-time baseline, and fails if throughput drops more
+  than ``--threshold`` below the committed baseline.
 
 The report is written to ``BENCH_parallel.json`` (schema
 ``repro.bench/v1``: commit, cpu count, timings, speedup) and compared
@@ -60,6 +67,24 @@ BENCH_CONFIG = {
     "seed": 0,
 }
 PARALLEL_WORKERS = 4
+
+#: serving load: enough concurrent clients that coalesced batches are
+#: large enough for the padded forward to dominate queueing overhead
+#: (COLLAB graphs are the biggest the generators produce), yet small
+#: enough for a CI stage.  HAP is the served model because its padded
+#: batch path is where micro-batching pays.
+SERVE_CONFIG = {
+    "method": "HAP",
+    "dataset": "COLLAB",
+    "num_graphs": 24,
+    "hidden": 16,
+    "seed": 0,
+    "clients": 8,
+    "requests_per_client": 20,
+    "max_batch_size": 16,
+    "max_wait_s": 0.002,
+    "embed_pool": 8,
+}
 
 
 def _git_commit() -> str:
@@ -108,6 +133,10 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
 
     timings["sparse_step_s"] = _sparse_step_time()
 
+    serving = measure_serving()
+    timings["serve_p50_s"] = serving["batched"]["p50_s"]
+    timings["serve_p99_s"] = serving["batched"]["p99_s"]
+
     speedup = None
     if parallel_workers > 1:
         clear_memory_cache()
@@ -133,6 +162,67 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
         "config": {"method": method, "dataset": dataset, **config},
         "timings": timings,
         "speedup_vs_serial": speedup,
+        "serving": serving,
+    }
+
+
+def measure_serving(config: dict | None = None) -> dict:
+    """Serial vs micro-batched closed-loop serving (docs/serving.md).
+
+    Both sides run the same closed-loop classify workload through
+    :class:`repro.serve.InferenceService`; the only difference is
+    ``max_batch_size`` (1 vs many), so the throughput ratio isolates
+    what request coalescing buys.  A third run drives a repeated embed
+    workload to measure the steady-state cache hit rate.
+    """
+    import numpy as np
+
+    from repro.evaluation.harness import prepare_dataset
+    from repro.models.zoo import make_classifier
+    from repro.serve import InferenceService, run_closed_loop
+
+    config = dict(SERVE_CONFIG if config is None else config)
+    graphs, dim, num_classes = prepare_dataset(
+        config["dataset"], config["num_graphs"], np.random.default_rng(config["seed"])
+    )
+    model = make_classifier(
+        config["method"], dim, num_classes,
+        np.random.default_rng(config["seed"]), hidden=config["hidden"],
+    )
+    model.eval()
+    model.predict(graphs)  # warm-up: CSR caches, first-touch allocations
+    load = {
+        "kind": "classify",
+        "clients": config["clients"],
+        "requests_per_client": config["requests_per_client"],
+    }
+    with InferenceService(model, max_batch_size=1, max_wait_s=0.0) as service:
+        serial = run_closed_loop(service, graphs, **load)
+    with InferenceService(
+        model,
+        max_batch_size=config["max_batch_size"],
+        max_wait_s=config["max_wait_s"],
+    ) as service:
+        batched = run_closed_loop(service, graphs, **load)
+    with InferenceService(
+        model,
+        max_batch_size=config["max_batch_size"],
+        max_wait_s=config["max_wait_s"],
+    ) as service:
+        embed = run_closed_loop(
+            service, graphs[: config["embed_pool"]], kind="embed",
+            clients=config["clients"],
+            requests_per_client=config["requests_per_client"],
+        )
+    return {
+        "config": config,
+        "serial": serial.to_dict(),
+        "batched": batched.to_dict(),
+        "embed": embed.to_dict(),
+        "serial_throughput_rps": serial.throughput_rps,
+        "throughput_rps": batched.throughput_rps,
+        "batching_speedup": batched.throughput_rps / serial.throughput_rps,
+        "cache_hit_rate": embed.cache_hit_rate,
     }
 
 
@@ -223,6 +313,15 @@ def main(argv: list[str] | None = None) -> int:
         f"bench: serial {report['timings']['crossval_serial_s']:.2f}s, "
         f"{detail}, wrote {args.out.relative_to(REPO)}"
     )
+    serving = report["serving"]
+    print(
+        f"bench: serving {serving['throughput_rps']:.0f} req/s micro-batched "
+        f"vs {serving['serial_throughput_rps']:.0f} req/s serial "
+        f"({serving['batching_speedup']:.2f}x), p50 "
+        f"{report['timings']['serve_p50_s'] * 1e3:.2f}ms, p99 "
+        f"{report['timings']['serve_p99_s'] * 1e3:.2f}ms, cache hit rate "
+        f"{serving['cache_hit_rate']:.0%}"
+    )
 
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
@@ -243,6 +342,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench: baseline schema {baseline.get('schema')!r} unsupported")
         return 1
     failures = compare(report, baseline, args.threshold)
+    # Micro-batching must strictly beat serving one request at a time —
+    # the whole point of the request queue (docs/serving.md).
+    if serving["throughput_rps"] <= serving["serial_throughput_rps"]:
+        failures.append(
+            f"serving throughput: micro-batched {serving['throughput_rps']:.0f} "
+            f"req/s not above serial {serving['serial_throughput_rps']:.0f} req/s"
+        )
+    base_serving = baseline.get("serving")
+    if base_serving and isinstance(base_serving.get("throughput_rps"), (int, float)):
+        floor = base_serving["throughput_rps"] * (1.0 - args.threshold)
+        if serving["throughput_rps"] < floor:
+            failures.append(
+                f"serving throughput: {serving['throughput_rps']:.0f} req/s vs "
+                f"baseline {base_serving['throughput_rps']:.0f} req/s "
+                f"(below -{args.threshold:.0%} floor)"
+            )
     if report["cpu_count"] >= 4 and speedup is not None:
         if speedup < args.require_speedup:
             failures.append(

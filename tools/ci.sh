@@ -10,7 +10,7 @@
 #                 checkpoint (resume bitwise-equivalence), profile
 #                 (instrumentation smoke), parallel (multiprocess
 #                 determinism), sparse (dense-vs-CSR backend
-#                 equivalence)
+#                 equivalence), serve (online-serving faithfulness)
 #   bench-compare tools/bench_gate.py vs results/bench_baseline.json
 #
 # Usage: tools/ci.sh            (run everything)
@@ -48,6 +48,7 @@ if runs gates; then
     python -m pytest -q -m profile
     python -m pytest -q -m parallel
     python -m pytest -q -m sparse
+    python -m pytest -q -m serve
 fi
 
 if runs bench-compare; then

@@ -1,6 +1,6 @@
 """AST-based repository linter (first stage of tools/ci.sh).
 
-Four rules, each targeting a bug class this codebase has actually had
+Five rules, each targeting a bug class this codebase has actually had
 to design around:
 
 - **no-bare-except** — ``except:`` swallows ``KeyboardInterrupt`` and
@@ -26,6 +26,11 @@ to design around:
   ``.todense()``, ``np.eye`` and square-shaped ``np.zeros/ones/full``
   allocations are flagged.  Tests and benchmarks are exempt — they
   densify deliberately to compare against the dense reference.
+- **no-deprecated-predict-batch** — ``predict_batch`` is a deprecation
+  shim for the unified ``predict()`` surface (docs/serving.md); library
+  code inside ``src/`` must call ``predict()`` directly so the shim can
+  eventually be deleted.  Tests are exempt — they exercise the shim's
+  warning on purpose.
 
 Usage::
 
@@ -80,9 +85,11 @@ class Linter(ast.NodeVisitor):
     def __init__(self, path: Path):
         self.path = path
         self.findings: list[tuple[int, str, str]] = []
-        #: densification is only policed in library code; tests and
-        #: benchmarks densify on purpose to compare against the dense path
+        #: densification and deprecated-API rules are only policed in
+        #: library code; tests and benchmarks densify / call the shims
+        #: on purpose
         self.police_densify = "src" in path.parts
+        self.police_deprecated = "src" in path.parts
         self._sparse_depth = 0
 
     def report(self, node: ast.AST, rule: str, message: str) -> None:
@@ -128,6 +135,16 @@ class Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.police_deprecated
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "predict_batch"
+        ):
+            self.report(
+                node, "no-deprecated-predict-batch",
+                "predict_batch() is a deprecation shim; call predict() "
+                "with the batch directly (docs/serving.md)",
+            )
         if self._sparse_depth:
             func = node.func
             if isinstance(func, ast.Attribute):
