@@ -160,6 +160,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write one JSONL run-log per fold plus a merged.jsonl",
     )
+    crossval.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="shard the dataset on disk under DIR and stream it with "
+        "bounded memory instead of materialising it per worker "
+        "(docs/streaming.md); results are identical to in-memory",
+    )
+    crossval.add_argument(
+        "--shard-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="graphs per shard file when --shard-dir is set",
+    )
 
     serve = sub.add_parser(
         "serve", help="micro-batched inference load test (docs/serving.md)"
@@ -316,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=args.workers if args.workers > 0 else None,
             cache_dir=args.cache_dir,
             run_log_dir=args.run_log_dir,
+            shard_dir=args.shard_dir,
+            shard_size=args.shard_size,
         )
         print(result)
         run = result.pool_run

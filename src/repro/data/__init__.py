@@ -24,6 +24,16 @@ from repro.data.batching import PaddedBatch, csr_graphs, iter_padded_batches, pa
 from repro.data.cache import DatasetCache, clear_memory_cache, load_dataset_cached
 from repro.data.io import load_graphs, save_graphs
 from repro.data.matching import MatchingPair, make_matching_dataset
+from repro.data.sharding import (
+    ShardCorruptionError,
+    ShardManifest,
+    load_manifest,
+    read_shard,
+    rebuild_shard,
+    shard_dataset,
+    write_shards,
+)
+from repro.data.streaming import StreamingDataset, StreamingView
 from repro.data.perturb import add_edges, drop_edges, drop_nodes, noise_features
 from repro.data.triplets import GraphTriplet, TripletGenerator
 from repro.data.splits import stratified_k_fold, train_val_test_split
@@ -59,6 +69,15 @@ __all__ = [
     "noise_features",
     "MatchingPair",
     "make_matching_dataset",
+    "ShardCorruptionError",
+    "ShardManifest",
+    "load_manifest",
+    "read_shard",
+    "rebuild_shard",
+    "shard_dataset",
+    "write_shards",
+    "StreamingDataset",
+    "StreamingView",
     "GraphTriplet",
     "TripletGenerator",
     "stratified_k_fold",

@@ -18,6 +18,11 @@ Guarantees:
 - **Corruption recovery.**  An unreadable archive (truncated, bit
   flipped) is treated as a miss: the dataset is rebuilt from its seed
   and the archive rewritten.
+- **Stale-version detection.**  Archives record the dataset
+  ``GENERATOR_VERSION`` they were built with; one written by an older
+  (or unversioned) generator is rebuilt instead of silently reused —
+  a seed means the *current* builders' output, not whatever an old
+  cache happens to hold.
 
 A process-local memo sits in front of the disk layer so serial
 cross-validation touches the builder exactly once per dataset.
@@ -30,13 +35,14 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.data.datasets as _datasets
 from repro.data.datasets import DATASET_BUILDERS, NUM_ATOM_TYPES
 from repro.data.encoding import (
     attach_constant_features,
     attach_degree_features,
     attach_label_features,
 )
-from repro.data.io import load_graphs, save_graphs
+from repro.data.io import load_graphs, read_archive_header, save_graphs
 from repro.graph.graph import Graph
 
 #: bumped when builders or the archive layout change incompatibly
@@ -96,15 +102,29 @@ class DatasetCache:
         path = self.path_for(name, num_graphs, seed)
         if path is not None and path.exists():
             try:
-                graphs, _ = load_graphs(path)
+                header = read_archive_header(path)
             except Exception:
                 # Truncated or bit-flipped archive: fall through to a
                 # rebuild, which rewrites the file atomically.
                 registry.counter("data_cache/corrupt").inc()
-            else:
-                registry.counter("data_cache/hit_disk").inc()
-                _MEMO[memo_key] = graphs
-                return graphs
+                header = None
+            if header is not None:
+                stored = (header.get("meta") or {}).get("generator_version")
+                if stored != _datasets.GENERATOR_VERSION:
+                    # Archive written by an older (or unversioned)
+                    # generator: its graphs may no longer match what the
+                    # builder produces for this seed.  Rebuild instead
+                    # of silently serving stale data.
+                    registry.counter("data_cache/stale_version").inc()
+                else:
+                    try:
+                        graphs, _ = load_graphs(path)
+                    except Exception:
+                        registry.counter("data_cache/corrupt").inc()
+                    else:
+                        registry.counter("data_cache/hit_disk").inc()
+                        _MEMO[memo_key] = graphs
+                        return graphs
 
         registry.counter("data_cache/miss").inc()
         builder, _, _ = DATASET_BUILDERS[name]
@@ -118,8 +138,24 @@ class DatasetCache:
     def _write_atomic(graphs: list[Graph], path: Path, name: str) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp.npz")
-        save_graphs(graphs, tmp, name=name)
+        save_graphs(
+            graphs, tmp, name=name,
+            meta={"generator_version": _datasets.GENERATOR_VERSION},
+        )
         _replace(tmp, path)
+
+
+def encoding_dim(encoding: str) -> int:
+    """Feature dimension :func:`attach_dataset_features` will produce.
+
+    Knowable without touching any graph, which lets the streaming
+    loader report ``feature_dim`` from its manifest alone.
+    """
+    if encoding == "degree":
+        return DEGREE_FEATURE_DIM
+    if encoding == "label":
+        return NUM_ATOM_TYPES
+    return CONSTANT_FEATURE_DIM
 
 
 def attach_dataset_features(
@@ -131,15 +167,18 @@ def attach_dataset_features(
     archives store raw builder output only.
     """
     if encoding == "degree":
-        return [attach_degree_features(g, DEGREE_FEATURE_DIM) for g in graphs], (
-            DEGREE_FEATURE_DIM
+        return (
+            [attach_degree_features(g, DEGREE_FEATURE_DIM) for g in graphs],
+            DEGREE_FEATURE_DIM,
         )
     if encoding == "label":
-        return [attach_label_features(g, NUM_ATOM_TYPES) for g in graphs], (
-            NUM_ATOM_TYPES
+        return (
+            [attach_label_features(g, NUM_ATOM_TYPES) for g in graphs],
+            NUM_ATOM_TYPES,
         )
-    return [attach_constant_features(g, CONSTANT_FEATURE_DIM) for g in graphs], (
-        CONSTANT_FEATURE_DIM
+    return (
+        [attach_constant_features(g, CONSTANT_FEATURE_DIM) for g in graphs],
+        CONSTANT_FEATURE_DIM,
     )
 
 

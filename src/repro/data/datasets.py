@@ -40,6 +40,11 @@ from repro.graph.graph import Graph
 CARBON, NITROGEN, OXYGEN, OTHER = 0, 1, 2, 3
 NUM_ATOM_TYPES = 4
 
+#: Bump whenever any builder's output changes for a fixed (num_graphs,
+#: seed) — on-disk caches and shard directories record this version and
+#: rebuild instead of silently serving graphs from an older generator.
+GENERATOR_VERSION = 1
+
 
 # ---------------------------------------------------------------------------
 # Molecule datasets

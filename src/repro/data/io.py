@@ -18,8 +18,19 @@ _HEADER_KEY = "__repro_dataset__"
 FORMAT_VERSION = 1
 
 
-def save_graphs(graphs: list[Graph], path: str | Path, name: str = "") -> None:
-    """Write a list of graphs (with labels/features when present)."""
+def save_graphs(
+    graphs: list[Graph],
+    path: str | Path,
+    name: str = "",
+    meta: dict | None = None,
+) -> None:
+    """Write a list of graphs (with labels/features when present).
+
+    ``meta`` is an optional JSON-serialisable dict stored in the archive
+    header — provenance such as the dataset generator version, which
+    :mod:`repro.data.cache` validates on load.  Archives written without
+    it stay readable (``read_archive_header`` reports ``meta=None``).
+    """
     if not graphs:
         raise ValueError("nothing to save")
     arrays: dict[str, np.ndarray] = {}
@@ -40,10 +51,25 @@ def save_graphs(graphs: list[Graph], path: str | Path, name: str = "") -> None:
         "count": len(graphs),
         "records": records,
     }
+    if meta is not None:
+        header["meta"] = meta
     arrays[_HEADER_KEY] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(path, **arrays)
+
+
+def read_archive_header(path: str | Path) -> dict:
+    """Read only an archive's JSON header (no graph arrays decoded).
+
+    Cheap relative to :func:`load_graphs`, so cache layers can validate
+    provenance (``header.get("meta")``) before paying for a full load.
+    """
+    path = Path(path)
+    with np.load(path if path.suffix else path.with_suffix(".npz")) as archive:
+        if _HEADER_KEY not in archive:
+            raise ValueError(f"{path} is not a repro dataset archive")
+        return json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
 
 
 def load_graphs(path: str | Path) -> tuple[list[Graph], str]:

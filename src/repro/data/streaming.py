@@ -1,0 +1,388 @@
+"""Out-of-core streaming loader over shard directories.
+
+:class:`StreamingDataset` presents a shard directory written by
+:mod:`repro.data.sharding` as a random-access sequence of featured
+:class:`~repro.graph.graph.Graph` objects while keeping at most
+``max_cached_shards`` shards decoded at any moment.  Three pieces make
+that fast *and* deterministic:
+
+- **LRU shard window.**  ``dataset[i]`` decodes at most one shard; a
+  small ``OrderedDict`` keeps the hottest shards resident and evicts
+  the least-recently-used one beyond the window.  Peak RSS is bounded
+  by ``(max_cached_shards + prefetch_depth) · shard_size`` graphs, not
+  by corpus size — the invariant ``benchmarks/test_streaming_memory.py``
+  gates in CI.
+- **Background double-buffering.**  :meth:`plan_epoch` tells the
+  dataset the shard visit order the caller is about to follow; while
+  the trainer consumes one shard, a
+  :class:`~repro.parallel.prefetch.BackgroundPrefetcher` decodes the
+  next ``prefetch_depth`` planned shards.  The prefetcher only warms a
+  cache — *which* graphs come back for an index never depends on
+  worker timing, prefetch depth, or cache state.
+- **Shard-aware deterministic shuffling.**  :meth:`shuffled_order`
+  derives a permutation from ``SeedSequence([seed, _SHUFFLE_STREAM])``
+  in two levels — shard visit order, then an intra-shard permutation
+  per shard keyed by shard id — so an epoch at any corpus scale loads
+  every shard exactly once, and the order is a pure function of the
+  seed: identical regardless of ``n_workers``, prefetch depth or
+  ``max_cached_shards``.  (A flat permutation over all indices would
+  revisit every shard ~``shard_size`` times per epoch once the corpus
+  outgrows the window.)
+
+``subset(indices)`` gives the zero-copy fold view
+``cross_validate_classification`` hands each worker: folds share one
+shard directory on disk instead of rebuilding whole datasets per
+process.  See ``docs/streaming.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict, deque
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.cache import attach_dataset_features, encoding_dim
+from repro.data.sharding import ShardManifest, load_manifest, read_shard
+from repro.graph.graph import Graph
+from repro.parallel.prefetch import BackgroundPrefetcher
+
+#: entropy tag mixed into the user seed for epoch shuffling
+_SHUFFLE_STREAM = 12
+
+#: process-local manifests keyed by shard dir, so prefetch worker
+#: processes parse manifest.json once instead of once per shard
+_MANIFEST_MEMO: dict[str, ShardManifest] = {}
+
+
+def _cached_manifest(shard_dir: str) -> ShardManifest:
+    manifest = _MANIFEST_MEMO.get(shard_dir)
+    if manifest is None:
+        manifest = load_manifest(shard_dir)
+        _MANIFEST_MEMO[shard_dir] = manifest
+    return manifest
+
+
+def clear_manifest_memo() -> None:
+    """Drop memoized manifests (tests that rewrite shard directories)."""
+    _MANIFEST_MEMO.clear()
+
+
+def _fetch_featured_shard(key: tuple) -> list[Graph]:
+    """Load + feature-encode one shard; module-level so process-mode
+    prefetch workers can import it (the spawn discipline of
+    :mod:`repro.parallel.pool`)."""
+    shard_dir, index, verify = key
+    manifest = _cached_manifest(shard_dir)
+    raw = read_shard(shard_dir, index, manifest=manifest, verify=verify)
+    if manifest.encoding is None:
+        return raw
+    featured, _ = attach_dataset_features(raw, manifest.encoding)
+    return featured
+
+
+class StreamingDataset(Sequence):
+    """Random-access view over a shard directory with bounded residency.
+
+    Parameters
+    ----------
+    shard_dir:
+        Directory holding ``manifest.json`` + ``shard_*.npz`` (written
+        by :func:`repro.data.sharding.write_shards` or
+        :func:`~repro.data.sharding.shard_dataset`).
+    max_cached_shards:
+        Size of the decoded-shard LRU window (>= 1).
+    prefetch_depth:
+        How many planned shards the background worker may run ahead.
+    prefetch_mode:
+        ``"thread"`` (default; decompression releases the GIL),
+        ``"process"`` (spawn-context worker, full parallelism), or
+        ``"off"`` (synchronous loads only — deterministic timing for
+        fault-injection tests).
+    verify:
+        Check each shard's content checksum against the manifest on
+        load (corruption surfaces as
+        :class:`~repro.data.sharding.ShardCorruptionError`).
+    """
+
+    def __init__(
+        self,
+        shard_dir: str | Path,
+        *,
+        max_cached_shards: int = 2,
+        prefetch_depth: int = 2,
+        prefetch_mode: str = "thread",
+        verify: bool = True,
+    ):
+        if max_cached_shards < 1:
+            raise ValueError(
+                f"max_cached_shards must be >= 1, got {max_cached_shards}"
+            )
+        if prefetch_mode not in ("thread", "process", "off"):
+            raise ValueError(
+                "prefetch_mode must be 'thread', 'process' or 'off', "
+                f"got {prefetch_mode!r}"
+            )
+        self.shard_dir = str(shard_dir)
+        self.manifest = load_manifest(shard_dir)
+        self.max_cached_shards = int(max_cached_shards)
+        self.prefetch_depth = int(prefetch_depth)
+        self.prefetch_mode = prefetch_mode
+        self.verify = bool(verify)
+        #: global index of each shard's first graph, plus the total
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(self.manifest.counts))
+        ).astype(int)
+        self._cache: OrderedDict[int, list[Graph]] = OrderedDict()
+        self._plan: deque[int] = deque()
+        self._prefetcher: BackgroundPrefetcher | None = None
+
+    # -- metadata (no shard loads) ----------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    @property
+    def num_shards(self) -> int:
+        return self.manifest.num_shards
+
+    @property
+    def num_classes(self) -> int | None:
+        return self.manifest.num_classes
+
+    @property
+    def feature_dim(self) -> int | None:
+        """Feature dimension after encoding (None for raw shard sets)."""
+        if self.manifest.encoding is None:
+            return None
+        return encoding_dim(self.manifest.encoding)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Per-graph class labels straight from the manifest.
+
+        Lets fold splitting stratify a 1M-graph corpus without decoding
+        a single shard.
+        """
+        if self.manifest.labels is None:
+            raise ValueError(
+                f"shards under {self.shard_dir} carry no labels "
+                "(unlabelled / GED dataset)"
+            )
+        return np.asarray(self.manifest.labels, dtype=int)
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def shard_of(self, index: int) -> int:
+        """Which shard holds global ``index``."""
+        return bisect_right(self._offsets, index) - 1
+
+    # -- shard window ------------------------------------------------------
+
+    def _ensure_prefetcher(self) -> BackgroundPrefetcher | None:
+        if self.prefetch_mode == "off" or self.prefetch_depth < 1:
+            return None
+        if self._prefetcher is None:
+            self._prefetcher = BackgroundPrefetcher(
+                _fetch_featured_shard,
+                depth=self.prefetch_depth,
+                mode=self.prefetch_mode,
+            )
+        return self._prefetcher
+
+    def _shard_key(self, shard: int) -> tuple:
+        return (self.shard_dir, shard, self.verify)
+
+    def _shard(self, shard: int) -> list[Graph]:
+        """The decoded, featured graphs of one shard (LRU-cached)."""
+        from repro.observe.metrics import get_registry
+
+        registry = get_registry()
+        cached = self._cache.get(shard)
+        if cached is not None:
+            registry.counter("streaming/cache_hit").inc()
+            self._cache.move_to_end(shard)
+        else:
+            prefetcher = self._ensure_prefetcher()
+            key = self._shard_key(shard)
+            if prefetcher is not None and key in prefetcher.pending:
+                cached = prefetcher.take(key)
+                registry.counter("streaming/prefetch_hit").inc()
+            else:
+                cached = _fetch_featured_shard(key)
+            registry.counter("streaming/shard_loads").inc()
+            self._cache[shard] = cached
+            while len(self._cache) > self.max_cached_shards:
+                self._cache.popitem(last=False)
+                registry.counter("streaming/evictions").inc()
+        if self._plan and self._plan[0] == shard:
+            self._plan.popleft()
+        self._request_lookahead()
+        return cached
+
+    def _request_lookahead(self) -> None:
+        """Warm the next planned shards that are neither cached nor
+        already in flight."""
+        prefetcher = self._ensure_prefetcher()
+        if prefetcher is None or not self._plan:
+            return
+        pending = prefetcher.pending
+        budget = self.prefetch_depth - len(pending)
+        requested: set[int] = set()
+        for shard in self._plan:
+            if budget <= 0:
+                break
+            if shard in self._cache or shard in requested:
+                continue
+            if any(key[1] == shard for key in pending):
+                continue
+            if prefetcher.request(self._shard_key(shard)):
+                requested.add(shard)
+                budget -= 1
+
+    def __getitem__(self, index: int) -> Graph:
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(
+                f"index {index} out of range for {len(self)} graphs"
+            )
+        shard = self.shard_of(index)
+        return self._shard(shard)[index - self._offsets[shard]]
+
+    # -- epoch planning and iteration --------------------------------------
+
+    def plan_epoch(self, order: Sequence[int]) -> None:
+        """Declare the global-index visit order the caller will follow.
+
+        The dataset reduces it to a shard sequence (consecutive
+        duplicates collapsed) that drives background lookahead.  A plan
+        is advisory: accesses off-plan still work, they just load
+        synchronously.
+        """
+        plan: deque[int] = deque()
+        for index in np.asarray(order, dtype=int):
+            shard = self.shard_of(int(index))
+            if not plan or plan[-1] != shard:
+                plan.append(shard)
+        self._plan = plan
+        self._request_lookahead()
+
+    def shuffled_order(self, seed: int) -> np.ndarray:
+        """Deterministic shard-aware epoch permutation of global indices.
+
+        Two-level: the shard visit order comes from
+        ``SeedSequence([seed, _SHUFFLE_STREAM])`` and each shard's
+        internal order from that sequence's spawned child keyed by
+        shard id.  Every shard appears exactly once (single load per
+        epoch through the LRU window) and the result is a pure function
+        of ``seed`` and the manifest — independent of workers, prefetch
+        depth, and cache state.
+        """
+        root = np.random.SeedSequence([int(seed), _SHUFFLE_STREAM])
+        shard_order = np.random.default_rng(root).permutation(self.num_shards)
+        children = root.spawn(self.num_shards)
+        parts = []
+        for shard in shard_order:
+            intra = np.random.default_rng(children[shard]).permutation(
+                self.manifest.counts[shard]
+            )
+            parts.append(self._offsets[shard] + intra)
+        return np.concatenate(parts)
+
+    def iter_shuffled(self, seed: int) -> Iterator[Graph]:
+        """Stream one shuffled epoch, loading each shard exactly once."""
+        order = self.shuffled_order(seed)
+        self.plan_epoch(order)
+        for index in order:
+            yield self[int(index)]
+
+    def __iter__(self) -> Iterator[Graph]:
+        self.plan_epoch(np.arange(len(self)))
+        for shard in range(self.num_shards):
+            yield from self._shard(shard)
+
+    def subset(self, indices: Sequence[int]) -> "StreamingView":
+        """A lazy fold view over a subset of global indices."""
+        return StreamingView(self, indices)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the prefetch worker and drop the shard window."""
+        if self._prefetcher is not None:
+            self._prefetcher.close()
+            self._prefetcher = None
+        self._cache.clear()
+        self._plan.clear()
+
+    def __enter__(self) -> "StreamingDataset":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        """Pickle only the configuration — workers reopen the shards."""
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        state["_plan"] = deque()
+        state["_prefetcher"] = None
+        return state
+
+
+class StreamingView(Sequence):
+    """Subset of a :class:`StreamingDataset` by global indices.
+
+    The fold-task unit: ``view[i]`` maps through to the parent's shard
+    window, ``plan_epoch`` translates local orders to global ones, and
+    nothing is materialised — two views over one dataset share its
+    cache and prefetcher.
+    """
+
+    def __init__(self, parent: StreamingDataset, indices: Sequence[int]):
+        self.parent = parent
+        self._indices = np.asarray(indices, dtype=int)
+        if self._indices.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        if len(self._indices) and not (
+            0 <= self._indices.min() and self._indices.max() < len(parent)
+        ):
+            raise IndexError(
+                f"subset indices out of range for {len(parent)} graphs"
+            )
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self.parent[int(self._indices[int(index)])]
+
+    def __iter__(self) -> Iterator[Graph]:
+        self.plan_epoch(np.arange(len(self)))
+        for global_index in self._indices:
+            yield self.parent[int(global_index)]
+
+    def plan_epoch(self, order: Sequence[int]) -> None:
+        """Translate a local visit order into the parent's shard plan."""
+        self.parent.plan_epoch(self._indices[np.asarray(order, dtype=int)])
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.parent.labels[self._indices]
+
+    @property
+    def feature_dim(self) -> int | None:
+        return self.parent.feature_dim
+
+    @property
+    def num_classes(self) -> int | None:
+        return self.parent.num_classes
+
+    def close(self) -> None:
+        self.parent.close()

@@ -92,33 +92,65 @@ class FoldTask:
     cluster_sizes: tuple[int, ...]
     cache_dir: str | None = None
     run_log: str | None = None
+    #: shard directory for the out-of-core path (docs/streaming.md);
+    #: None keeps the in-memory ``load_dataset_cached`` path
+    shard_dir: str | None = None
     model_kwargs: dict = field(default_factory=dict)
+
+
+def _fold_examples(task: FoldTask):
+    """The fold's (train, test, feature_dim, num_classes) example views.
+
+    In-memory folds materialise plain lists from the dataset cache;
+    sharded folds open the shared shard directory and hand back lazy
+    :class:`~repro.data.streaming.StreamingView` subsets, so each
+    worker's resident set stays a couple of shards no matter how large
+    the corpus is — workers read disjoint index ranges of one on-disk
+    store instead of each rebuilding the whole dataset.
+    """
+    if task.shard_dir is None:
+        graphs, dim, num_classes = load_dataset_cached(
+            task.dataset, task.num_graphs, task.data_seed, task.cache_dir
+        )
+        train = [graphs[i] for i in task.train_idx]
+        test = [graphs[i] for i in task.test_idx]
+        return train, test, dim, num_classes
+    from repro.data.streaming import StreamingDataset
+
+    stream = StreamingDataset(task.shard_dir)
+    return (
+        stream.subset(task.train_idx),
+        stream.subset(task.test_idx),
+        stream.feature_dim,
+        stream.num_classes,
+    )
 
 
 def run_fold_task(task: FoldTask) -> float:
     """Train and score one fold (module-level: spawn-safe pool target)."""
-    graphs, dim, num_classes = load_dataset_cached(
-        task.dataset, task.num_graphs, task.data_seed, task.cache_dir
-    )
+    train, test, dim, num_classes = _fold_examples(task)
     fold_rng = np.random.default_rng(task.seed_seq)
     model = zoo.make_classifier(
         task.method, dim, num_classes, fold_rng,
         hidden=task.hidden, cluster_sizes=task.cluster_sizes,
         **task.model_kwargs,
     )
-    train = [graphs[i] for i in task.train_idx]
-    test = [graphs[i] for i in task.test_idx]
     callbacks = None
     if task.run_log is not None:
         from repro.observe import JSONLLogger
 
         callbacks = [JSONLLogger(task.run_log, log_batches=True)]
-    fit(
-        model, train, fold_rng,
-        TrainConfig(epochs=task.epochs, lr=task.lr),
-        callbacks=callbacks,
-    )
-    return classification_accuracy(model, test)
+    data_mode = "memory" if task.shard_dir is None else "streaming"
+    try:
+        fit(
+            model, train, fold_rng,
+            TrainConfig(epochs=task.epochs, lr=task.lr, data=data_mode),
+            callbacks=callbacks,
+        )
+        return classification_accuracy(model, test)
+    finally:
+        if task.shard_dir is not None:
+            train.close()
 
 
 def make_fold_tasks(
@@ -133,15 +165,38 @@ def make_fold_tasks(
     cluster_sizes: tuple[int, ...] = (6, 1),
     cache_dir: str | Path | None = None,
     run_log_dir: str | Path | None = None,
+    shard_dir: str | Path | None = None,
+    shard_size: int = 256,
     **model_kwargs,
 ) -> list[FoldTask]:
-    """Build the deterministic task list behind one cross-validation."""
-    graphs, _, num_classes = load_dataset_cached(
-        dataset, num_graphs, seed, cache_dir
-    )
-    if num_classes is None:
-        raise ValueError(f"{dataset} is a GED dataset, not a classification one")
-    labels = [g.label for g in graphs]
+    """Build the deterministic task list behind one cross-validation.
+
+    With ``shard_dir`` the dataset is written once as a shard store
+    (idempotent — an existing matching manifest is reused) and each
+    fold's labels come straight from the manifest, so task construction
+    never materialises the corpus.
+    """
+    if shard_dir is not None:
+        from repro.data.sharding import shard_dataset
+
+        manifest = shard_dataset(
+            dataset, num_graphs, seed, shard_dir, shard_size
+        )
+        num_classes = manifest.num_classes
+        if num_classes is None:
+            raise ValueError(
+                f"{dataset} is a GED dataset, not a classification one"
+            )
+        labels = manifest.labels
+    else:
+        graphs, _, num_classes = load_dataset_cached(
+            dataset, num_graphs, seed, cache_dir
+        )
+        if num_classes is None:
+            raise ValueError(
+                f"{dataset} is a GED dataset, not a classification one"
+            )
+        labels = [g.label for g in graphs]
     split_rng = np.random.default_rng(
         np.random.SeedSequence([int(seed), _SPLIT_STREAM])
     )
@@ -166,6 +221,7 @@ def make_fold_tasks(
                 if run_log_dir is not None
                 else None
             ),
+            shard_dir=str(shard_dir) if shard_dir is not None else None,
             model_kwargs=model_kwargs,
         )
         for fold, (train_idx, test_idx) in enumerate(splits)
@@ -185,6 +241,8 @@ def cross_validate_classification(
     n_workers: int = 1,
     cache_dir: str | Path | None = None,
     run_log_dir: str | Path | None = None,
+    shard_dir: str | Path | None = None,
+    shard_size: int = 256,
     **model_kwargs,
 ) -> CVResult:
     """Stratified k-fold cross-validated accuracy for one method.
@@ -193,13 +251,18 @@ def cross_validate_classification(
     results identical to ``n_workers=1``; ``None`` auto-detects the
     core count.  ``cache_dir`` enables the on-disk dataset cache shared
     by the workers; ``run_log_dir`` writes one JSONL run-log per fold
-    plus a deterministic ``merged.jsonl``.  The :class:`PoolRun` with
-    per-fold timings is attached as ``result.pool_run``.
+    plus a deterministic ``merged.jsonl``.  ``shard_dir`` switches every
+    fold to the out-of-core streaming path (docs/streaming.md): the
+    dataset is sharded once on disk and workers stream disjoint index
+    ranges with bounded memory — accuracies stay bitwise identical to
+    the in-memory path.  The :class:`PoolRun` with per-fold timings is
+    attached as ``result.pool_run``.
     """
     tasks = make_fold_tasks(
         method, dataset, folds=folds, seed=seed, num_graphs=num_graphs,
         epochs=epochs, hidden=hidden, lr=lr, cluster_sizes=cluster_sizes,
-        cache_dir=cache_dir, run_log_dir=run_log_dir, **model_kwargs,
+        cache_dir=cache_dir, run_log_dir=run_log_dir,
+        shard_dir=shard_dir, shard_size=shard_size, **model_kwargs,
     )
     if run_log_dir is not None:
         Path(run_log_dir).mkdir(parents=True, exist_ok=True)

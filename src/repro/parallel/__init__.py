@@ -34,6 +34,7 @@ from repro.parallel.pool import (
     WorkerTaskError,
     resolve_workers,
 )
+from repro.parallel.prefetch import BackgroundPrefetcher, PrefetcherClosed
 from repro.parallel.seeding import generator_for_task, spawn_task_seeds
 from repro.parallel.logs import (
     merge_worker_logs,
@@ -48,6 +49,8 @@ __all__ = [
     "WorkerPool",
     "WorkerTaskError",
     "resolve_workers",
+    "BackgroundPrefetcher",
+    "PrefetcherClosed",
     "generator_for_task",
     "spawn_task_seeds",
     "merge_worker_logs",

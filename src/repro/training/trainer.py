@@ -56,6 +56,13 @@ class TrainConfig:
     #: to cached CSR adjacencies before training starts — O(E) memory per
     #: step, required for graphs too large to densify
     backend: str = "dense"
+    #: example source discipline (docs/streaming.md): ``"memory"`` treats
+    #: ``examples`` as a plain in-RAM sequence; ``"streaming"`` expects an
+    #: out-of-core view (``StreamingDataset``/``StreamingView``) and
+    #: announces each epoch's shuffled visit order via ``plan_epoch`` so
+    #: the loader's background prefetch follows the trainer.  Both modes
+    #: index ``examples`` identically, so results are bitwise equal.
+    data: str = "memory"
     #: write ``repro.ckpt/v1`` checkpoints under this directory
     #: (docs/checkpointing.md); None disables checkpointing
     checkpoint_dir: str | None = None
@@ -142,6 +149,17 @@ def fit(
         )
     if config.backend == "sparse" and hasattr(model, "backend"):
         model.backend = config.backend
+    if config.data not in ("memory", "streaming"):
+        raise ValueError(
+            f"unknown data mode {config.data!r}; use 'memory' or 'streaming'"
+        )
+    if config.data == "streaming" and not hasattr(examples, "plan_epoch"):
+        raise TypeError(
+            "TrainConfig(data='streaming') needs examples with a "
+            "plan_epoch() method (StreamingDataset / StreamingView, "
+            "docs/streaming.md); got "
+            f"{type(examples).__name__}"
+        )
     if loss_fn is None:
         loss_fn = lambda m, ex: m.loss(ex)  # noqa: E731 - tiny default
     events = CallbackList(callbacks)
@@ -238,6 +256,10 @@ def fit(
             order = rng.permutation(len(examples))
             epoch_loss = 0.0
             first_step = 0
+        if config.data == "streaming":
+            # announce the remainder of this epoch's visit order so the
+            # loader prefetches shards in lock-step with the batches
+            examples.plan_epoch(order[first_step * config.batch_size :])
         starts = range(0, len(order), config.batch_size)
         with span("epoch"):
             for step, start in enumerate(starts):

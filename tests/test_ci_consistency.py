@@ -110,6 +110,7 @@ class TestWorkflowShape:
             "parallel",
             "sparse",
             "serve",
+            "streaming",
         }
         assert gate_markers <= registered
         text = CI_SH.read_text()

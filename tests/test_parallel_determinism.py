@@ -257,6 +257,54 @@ class TestDatasetCache:
         reread, _, _ = load_dataset_cached(self.NAME, self.N, self.SEED, tmp_path)
         assert _dataset_fingerprint(built) == _dataset_fingerprint(reread)
 
+    def test_stale_generator_version_triggers_rebuild(
+        self, tmp_path, monkeypatch
+    ):
+        """An archive from an older generator must be rebuilt, not reused."""
+        import repro.data.cache as cache_module
+        import repro.data.datasets as datasets_module
+        from repro.data.io import read_archive_header
+        from repro.observe.metrics import get_registry
+
+        clear_memory_cache()
+        load_dataset_cached(self.NAME, self.N, self.SEED, tmp_path)
+        archive = DatasetCache(tmp_path).path_for(self.NAME, self.N, self.SEED)
+        stamped = read_archive_header(archive)["meta"]["generator_version"]
+        assert stamped == datasets_module.GENERATOR_VERSION
+
+        # the generators change: the old archive is now stale
+        monkeypatch.setattr(datasets_module, "GENERATOR_VERSION", stamped + 1)
+        clear_memory_cache()
+        before = get_registry().snapshot()["counters"].get(
+            "data_cache/stale_version", 0
+        )
+        rebuilt, _, _ = load_dataset_cached(self.NAME, self.N, self.SEED, tmp_path)
+        after = get_registry().snapshot()["counters"]["data_cache/stale_version"]
+        assert after == before + 1
+        # the rewritten archive carries the new version and is served
+        # as a plain disk hit on the next cold load
+        assert read_archive_header(archive)["meta"]["generator_version"] == (
+            stamped + 1
+        )
+        clear_memory_cache()
+        reread, _, _ = load_dataset_cached(self.NAME, self.N, self.SEED, tmp_path)
+        assert _dataset_fingerprint(rebuilt) == _dataset_fingerprint(reread)
+
+    def test_unversioned_legacy_archive_is_rebuilt(self, tmp_path):
+        """Archives written before versioning (no meta) count as stale."""
+        from repro.data.io import load_graphs, read_archive_header, save_graphs
+
+        clear_memory_cache()
+        built, _, _ = load_dataset_cached(self.NAME, self.N, self.SEED, tmp_path)
+        archive = DatasetCache(tmp_path).path_for(self.NAME, self.N, self.SEED)
+        raw, name = load_graphs(archive)
+        save_graphs(raw, archive, name=name)  # legacy layout: no meta
+        assert "meta" not in read_archive_header(archive)
+        clear_memory_cache()
+        recovered, _, _ = load_dataset_cached(self.NAME, self.N, self.SEED, tmp_path)
+        assert _dataset_fingerprint(built) == _dataset_fingerprint(recovered)
+        assert "meta" in read_archive_header(archive)  # rewritten, stamped
+
     def test_no_cache_dir_still_works(self):
         clear_memory_cache()
         graphs, dim, classes = load_dataset_cached(self.NAME, self.N, self.SEED)

@@ -28,7 +28,8 @@ class TestReadmeReferences:
         for doc in ("api.md", "datasets.md", "reproducing.md",
                     "design_notes.md", "tutorial_custom_pooling.md",
                     "batching.md", "observability.md", "checkpointing.md",
-                    "parallelism.md", "sparse.md", "serving.md"):
+                    "parallelism.md", "sparse.md", "serving.md",
+                    "streaming.md"):
             assert (REPO / "docs" / doc).is_file(), doc
 
 
@@ -78,7 +79,8 @@ class TestPytestMarkers:
 
     def test_new_suite_markers_registered(self):
         assert {
-            "checkpoint", "faultinject", "parallel", "bench", "sparse", "serve"
+            "checkpoint", "faultinject", "parallel", "bench", "sparse",
+            "serve", "streaming",
         } <= self._registered_markers()
 
 

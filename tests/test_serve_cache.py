@@ -24,6 +24,8 @@ from repro.serve import EmbeddingCache
 
 pytestmark = pytest.mark.serve
 
+NAME, N, SEED = "MUTAG", 12, 5
+
 
 def _graph(seed: int = 0, n: int = 6) -> Graph:
     rng = np.random.default_rng(seed)
@@ -168,3 +170,55 @@ class TestWeightInvalidation:
         cache.put("new", "g2", np.zeros(1))
         assert cache.purge_stale("new") == 1
         assert cache.keys() == [("new", "g2")]
+
+
+@pytest.mark.streaming
+class TestStreamingCacheRoundTrip:
+    """Serving over shard-loaded graphs reuses in-memory cache entries.
+
+    ``graph_hash`` keys the :class:`EmbeddingCache` by content, so a
+    graph that travelled disk → shard → :class:`StreamingDataset` must
+    hash identically to the in-RAM original — an ``embed()`` over the
+    streamed corpus then *hits* entries populated from memory instead
+    of recomputing, the docs/streaming.md serving contract.
+    """
+
+    @pytest.fixture()
+    def sources(self, tmp_path):
+        from repro.data.cache import load_dataset_cached
+        from repro.data.sharding import shard_dataset
+        from repro.data.streaming import StreamingDataset, clear_manifest_memo
+
+        clear_manifest_memo()
+        in_memory, dim, classes = load_dataset_cached(NAME, N, SEED)
+        shard_dataset(NAME, N, SEED, tmp_path / "sh", shard_size=5)
+        streamed = StreamingDataset(tmp_path / "sh", prefetch_mode="off")
+        yield in_memory, streamed, dim, classes
+        streamed.close()
+        clear_manifest_memo()
+
+    def test_graph_hash_survives_the_shard_round_trip(self, sources):
+        in_memory, streamed, _, _ = sources
+        assert [graph_hash(streamed[i]) for i in range(N)] == [
+            graph_hash(g) for g in in_memory
+        ]
+
+    def test_streamed_embed_hits_entries_cached_from_memory(self, sources):
+        in_memory, streamed, dim, classes = sources
+        model = make_classifier(
+            "SumPool", dim, classes, np.random.default_rng(1),
+            hidden=8, cluster_sizes=(4, 1),
+        )
+        model.eval()
+        fingerprint = module_fingerprint(model)
+        cache = EmbeddingCache()
+        for graph in in_memory:
+            result = model.embed(graph)
+            assert result.graph_hash == graph_hash(graph)
+            cache.put(fingerprint, result.graph_hash, np.asarray(result))
+        for i in range(N):
+            streamed_result = model.embed(streamed[i])
+            hit = cache.get(fingerprint, streamed_result.graph_hash)
+            assert hit is not None, f"graph {i} missed after shard round-trip"
+            np.testing.assert_array_equal(hit, np.asarray(streamed_result))
+        assert cache.hits == N and cache.misses == 0

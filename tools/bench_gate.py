@@ -24,6 +24,18 @@ when one regresses against the committed baseline:
   *requires* micro-batched throughput strictly above the serial
   one-request-at-a-time baseline, and fails if throughput drops more
   than ``--threshold`` below the committed baseline.
+- ``stream_step_s`` — mean time to materialise one shuffled training
+  batch through a :class:`repro.data.streaming.StreamingDataset`
+  (docs/streaming.md): shard decode + feature attach amortised over
+  the LRU window and prefetcher.
+- the **streaming memory gate** — subprocess RSS probes (a
+  ``streaming`` report section): one epoch over a 50k-graph sharded
+  corpus must peak *below* the in-memory loader's RSS at 10k graphs,
+  and its RSS growth over an import-only interpreter must stay under
+  a fixed fraction of the in-memory loader's growth.  This gate is
+  absolute (no baseline needed) and is enforced even under
+  ``--update-baseline`` — a baseline that violates the out-of-core
+  contract must never be committed.
 
 The report is written to ``BENCH_parallel.json`` (schema
 ``repro.bench/v1``: commit, cpu count, timings, speedup) and compared
@@ -47,6 +59,8 @@ import argparse
 import json
 import os
 import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -86,6 +100,82 @@ SERVE_CONFIG = {
     "embed_pool": 8,
 }
 
+#: streaming memory gate: the streamed corpus is 5x the in-memory one,
+#: yet one full shuffled epoch must peak below the in-memory loader's
+#: RSS — and its growth over a bare interpreter must stay under
+#: ``rss_fraction`` of the in-memory loader's growth.  MUTAG keeps the
+#: 50k-graph generation inside a CI budget; ``chunked`` shard writing
+#: bounds the writer at one shard of graphs (docs/streaming.md).
+STREAM_CONFIG = {
+    "dataset": "MUTAG",
+    "stream_graphs": 50_000,
+    "inmem_graphs": 10_000,
+    "shard_size": 500,
+    "max_cached_shards": 2,
+    "seed": 0,
+    "rss_fraction": 0.5,
+}
+
+#: each probe runs in a fresh interpreter so its peak RSS is
+#: attributable to exactly one loading strategy.  /proc VmHWM is the
+#: primary source: ``ru_maxrss`` survives fork+exec on Linux, so a
+#: child spawned from a fat parent would inherit the *parent's*
+#: high-water mark and drown the measurement; VmHWM is reset on exec.
+_PROBE_PRELUDE = """\
+import resource
+import sys
+
+def report_peak_rss():
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    print(int(line.split()[1]))
+                    return
+    except OSError:
+        pass  # no procfs (macOS): fall back to getrusage
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes there, KB on Linux
+        rss_kb //= 1024
+    print(rss_kb)
+"""
+
+_BASELINE_PROBE = _PROBE_PRELUDE + """
+import numpy  # noqa: F401
+import repro.data.streaming  # noqa: F401
+report_peak_rss()
+"""
+
+_INMEM_PROBE = _PROBE_PRELUDE + """
+from repro.data.cache import load_dataset_cached
+
+name, n, seed, cache_dir = (
+    sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), sys.argv[4]
+)
+graphs, dim, _ = load_dataset_cached(name, n, seed, cache_dir=cache_dir)
+nodes = sum(g.num_nodes for g in graphs)
+assert len(graphs) == n and nodes > 0
+report_peak_rss()
+"""
+
+_STREAM_PROBE = _PROBE_PRELUDE + """
+from repro.data.sharding import shard_dataset
+from repro.data.streaming import StreamingDataset
+
+name, n, seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+shard_dir, shard_size, window = (
+    sys.argv[4], int(sys.argv[5]), int(sys.argv[6])
+)
+shard_dataset(name, n, seed, shard_dir, shard_size, chunked=True)
+nodes = count = 0
+with StreamingDataset(shard_dir, max_cached_shards=window) as stream:
+    for graph in stream.iter_shuffled(seed):
+        nodes += graph.num_nodes
+        count += 1
+assert count == n and nodes > 0
+report_peak_rss()
+"""
+
 
 def _git_commit() -> str:
     try:
@@ -110,8 +200,6 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
     method = config.pop("method")
     dataset = config.pop("dataset")
 
-    import tempfile
-
     timings: dict[str, float | None] = {}
     with tempfile.TemporaryDirectory() as tmp:
         cache = DatasetCache(tmp)
@@ -132,10 +220,13 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
     )
 
     timings["sparse_step_s"] = _sparse_step_time()
+    timings["stream_step_s"] = _stream_step_time()
 
     serving = measure_serving()
     timings["serve_p50_s"] = serving["batched"]["p50_s"]
     timings["serve_p99_s"] = serving["batched"]["p99_s"]
+
+    streaming = measure_streaming_memory()
 
     speedup = None
     if parallel_workers > 1:
@@ -163,6 +254,7 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
         "timings": timings,
         "speedup_vs_serial": speedup,
         "serving": serving,
+        "streaming": streaming,
     }
 
 
@@ -224,6 +316,110 @@ def measure_serving(config: dict | None = None) -> dict:
         "batching_speedup": batched.throughput_rps / serial.throughput_rps,
         "cache_hit_rate": embed.cache_hit_rate,
     }
+
+
+def measure_streaming_memory(config: dict | None = None) -> dict:
+    """Peak-RSS comparison of streamed vs in-memory loading.
+
+    Three subprocess probes, each printing its own
+    ``getrusage().ru_maxrss``: an import-only interpreter (the shared
+    baseline every Python process pays), the in-memory loader at
+    ``inmem_graphs``, and a full shuffled epoch over a sharded corpus
+    of ``stream_graphs`` — generation *and* consumption, since bounded
+    writer memory (chunked per-shard generation) is part of the
+    out-of-core contract.  Returns absolute RSS plus the growth deltas
+    the gate judges.
+    """
+    config = dict(STREAM_CONFIG if config is None else config)
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+    def probe(script: str, *argv) -> float:
+        result = subprocess.run(
+            [sys.executable, "-c", script, *map(str, argv)],
+            capture_output=True, text=True, env=env, cwd=REPO, timeout=900,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(f"memory probe failed:\n{result.stderr}")
+        return int(result.stdout.strip().splitlines()[-1]) / 1024.0  # KB -> MB
+
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_mb = probe(_BASELINE_PROBE)
+        inmem_mb = probe(
+            _INMEM_PROBE, config["dataset"], config["inmem_graphs"],
+            config["seed"], os.path.join(tmp, "cache"),
+        )
+        stream_mb = probe(
+            _STREAM_PROBE, config["dataset"], config["stream_graphs"],
+            config["seed"], os.path.join(tmp, "shards"),
+            config["shard_size"], config["max_cached_shards"],
+        )
+    inmem_delta = max(inmem_mb - baseline_mb, 0.0)
+    stream_delta = max(stream_mb - baseline_mb, 0.0)
+    return {
+        "config": config,
+        "baseline_rss_mb": round(baseline_mb, 1),
+        "inmem_rss_mb": round(inmem_mb, 1),
+        "stream_rss_mb": round(stream_mb, 1),
+        "inmem_delta_mb": round(inmem_delta, 1),
+        "stream_delta_mb": round(stream_delta, 1),
+        "delta_ratio": (
+            round(stream_delta / inmem_delta, 3) if inmem_delta > 0 else None
+        ),
+    }
+
+
+def streaming_memory_failures(streaming: dict) -> list[str]:
+    """Violations of the out-of-core memory contract (docs/streaming.md)."""
+    config = streaming["config"]
+    failures = []
+    if streaming["stream_rss_mb"] >= streaming["inmem_rss_mb"]:
+        failures.append(
+            f"streaming memory: {config['stream_graphs']}-graph streamed epoch "
+            f"peaked at {streaming['stream_rss_mb']:.0f}MB RSS, not below the "
+            f"in-memory loader's {streaming['inmem_rss_mb']:.0f}MB at "
+            f"{config['inmem_graphs']} graphs"
+        )
+    ratio = streaming["delta_ratio"]
+    if ratio is not None and ratio > config["rss_fraction"]:
+        failures.append(
+            f"streaming memory: RSS growth over interpreter baseline is "
+            f"{streaming['stream_delta_mb']:.0f}MB streamed vs "
+            f"{streaming['inmem_delta_mb']:.0f}MB in-memory "
+            f"(ratio {ratio:.2f} > allowed {config['rss_fraction']:.2f})"
+        )
+    return failures
+
+
+def _stream_step_time(
+    num_graphs: int = 512, shard_size: int = 64, batch_size: int = 8
+) -> float:
+    """Mean seconds per training batch served from a StreamingDataset.
+
+    One warm-up epoch (page cache, first-touch allocations), then one
+    timed shuffled epoch; with the corpus at 8 shards against a 2-shard
+    LRU window, the timed epoch pays the steady-state decode +
+    feature-attach cost rather than an all-cached fiction.
+    """
+    from repro.data.sharding import shard_dataset
+    from repro.data.streaming import StreamingDataset, clear_manifest_memo
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clear_manifest_memo()
+        shard_dataset("MUTAG", num_graphs, 0, tmp, shard_size, chunked=True)
+        with StreamingDataset(tmp, max_cached_shards=2) as stream:
+
+            def epoch(seed: int) -> None:
+                order = stream.shuffled_order(seed)
+                stream.plan_epoch(order)
+                for index in order:
+                    stream[int(index)]
+
+            epoch(0)  # warm-up outside the timed region
+            start = time.perf_counter()
+            epoch(1)
+            elapsed = time.perf_counter() - start
+        clear_manifest_memo()
+    return elapsed / max(1, num_graphs // batch_size)
 
 
 def _sparse_step_time(n: int = 2000, avg_degree: int = 8) -> float:
@@ -322,6 +518,23 @@ def main(argv: list[str] | None = None) -> int:
         f"{report['timings']['serve_p99_s'] * 1e3:.2f}ms, cache hit rate "
         f"{serving['cache_hit_rate']:.0%}"
     )
+    streaming = report["streaming"]
+    print(
+        f"bench: streaming {streaming['config']['stream_graphs']} graphs "
+        f"peaked at {streaming['stream_rss_mb']:.0f}MB RSS vs in-memory "
+        f"{streaming['config']['inmem_graphs']} graphs at "
+        f"{streaming['inmem_rss_mb']:.0f}MB (interpreter baseline "
+        f"{streaming['baseline_rss_mb']:.0f}MB), stream_step "
+        f"{report['timings']['stream_step_s'] * 1e3:.2f}ms"
+    )
+
+    # The out-of-core contract is absolute — no baseline required, and
+    # --update-baseline must not launder a violation into the baseline.
+    memory_failures = streaming_memory_failures(streaming)
+    for failure in memory_failures:
+        print(f"bench REGRESSION: {failure}")
+    if memory_failures:
+        return 1
 
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)

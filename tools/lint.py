@@ -31,6 +31,18 @@ to design around:
   code inside ``src/`` must call ``predict()`` directly so the shim can
   eventually be deleted.  Tests are exempt — they exercise the shim's
   warning on purpose.
+- **no-materialize-in-streaming-path** — the out-of-core pipeline
+  (docs/streaming.md) holds a bounded LRU window of shards; one stray
+  ``list(dataset)`` / ``sorted(examples)`` inside a streaming code
+  path pulls the whole corpus into RAM and silently cancels the memory
+  contract the bench gate enforces — while every functional result
+  stays correct.  Inside ``src/`` streaming scopes (modules named
+  ``streaming*`` or functions whose names contain ``stream``), calls
+  to ``list()`` / ``sorted()`` / ``tuple()`` over an identifier that
+  looks like a corpus (``dataset``, ``stream``, ``shard``, ``graphs``,
+  ``examples``, ``items``, ``view``) are flagged.  Tests and
+  benchmarks are exempt — equivalence suites materialise both sides on
+  purpose.
 
 Usage::
 
@@ -70,6 +82,13 @@ DENSIFY_METHODS = {"to_dense", "toarray", "todense"}
 #: numpy allocators that can build an (N, N) dense matrix
 DENSE_ALLOCATORS = {"zeros", "ones", "full", "empty"}
 
+#: builtins that materialise their whole argument at once
+MATERIALIZERS = {"list", "sorted", "tuple"}
+
+#: identifier substrings that suggest the argument is a graph corpus
+#: rather than a small bookkeeping collection
+CORPUS_HINTS = ("dataset", "stream", "shard", "graphs", "examples", "items", "view")
+
 
 def _is_np_random(node: ast.AST) -> bool:
     """Match ``np.random`` / ``numpy.random`` attribute chains."""
@@ -90,7 +109,12 @@ class Linter(ast.NodeVisitor):
         #: on purpose
         self.police_densify = "src" in path.parts
         self.police_deprecated = "src" in path.parts
+        self.police_materialize = "src" in path.parts
         self._sparse_depth = 0
+        #: a whole module named streaming* is one streaming scope
+        self._stream_depth = int(
+            self.police_materialize and path.stem.startswith("streaming")
+        )
 
     def report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append((node.lineno, rule, message))
@@ -124,11 +148,16 @@ class Linter(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         sparse_scope = self.police_densify and "sparse" in node.name
+        stream_scope = self.police_materialize and "stream" in node.name
         if sparse_scope:
             self._sparse_depth += 1
+        if stream_scope:
+            self._stream_depth += 1
         self.generic_visit(node)
         if sparse_scope:
             self._sparse_depth -= 1
+        if stream_scope:
+            self._stream_depth -= 1
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
@@ -145,6 +174,28 @@ class Linter(ast.NodeVisitor):
                 "predict_batch() is a deprecation shim; call predict() "
                 "with the batch directly (docs/serving.md)",
             )
+        if (
+            self._stream_depth
+            and isinstance(node.func, ast.Name)
+            and node.func.id in MATERIALIZERS
+            and node.args
+        ):
+            target = node.args[0]
+            identifier = None
+            if isinstance(target, ast.Name):
+                identifier = target.id
+            elif isinstance(target, ast.Attribute):
+                identifier = target.attr
+            if identifier is not None and any(
+                hint in identifier.lower() for hint in CORPUS_HINTS
+            ):
+                self.report(
+                    node, "no-materialize-in-streaming-path",
+                    f"{node.func.id}({identifier}) inside a streaming code "
+                    "path materialises the whole corpus in RAM, defeating "
+                    "the bounded shard window (docs/streaming.md); iterate "
+                    "or index instead",
+                )
         if self._sparse_depth:
             func = node.func
             if isinstance(func, ast.Attribute):
