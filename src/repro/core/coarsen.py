@@ -23,7 +23,16 @@ from repro.core.gcont import GCont
 from repro.core.moa import MOA
 from repro.nn.module import Module, warn_deprecated
 from repro.observe.tracing import span
-from repro.tensor import CSRMatrix, Tensor, as_tensor, bmm, log, softmax, spmm, transpose
+from repro.tensor import (
+    CSRMatrix,
+    Tensor,
+    as_tensor,
+    coarsen_chain,
+    log,
+    matmul_tn,
+    softmax,
+    transpose,
+)
 
 #: softmax temperature of Eq. 19 ("we set τ = 0.1").
 DEFAULT_TAU = 0.1
@@ -109,15 +118,14 @@ class GraphCoarsening(Module):
             if h.ndim == 3:
                 return self._coarsen_padded(adjacency, h, mask)
             assignment = self.attention(h)  # (N, N')
-            h_coarse = assignment.T @ h  # Eq. 17
-            if sparse:
-                # Eq. 18 as M^T (A M): the spmm keeps peak memory at
-                # O(E·N') instead of the dense O(N²); the coarsened
-                # (N', N') adjacency is small and stays dense so the
-                # Gumbel sampling and deeper levels are unchanged.
-                adj_coarse = assignment.T @ spmm(adjacency, assignment)
-            else:
-                adj_coarse = assignment.T @ adjacency @ assignment  # Eq. 18
+            h_coarse = matmul_tn(assignment, h)  # Eq. 17
+            # Eq. 18 as the fused chain M^T (A M): the A M product runs
+            # first so the wide (N', N) intermediate is never formed;
+            # for CSR adjacencies it keeps peak memory at O(E·N')
+            # instead of the dense O(N²).  The coarsened (N', N')
+            # adjacency is small and stays dense so the Gumbel sampling
+            # and deeper levels are unchanged.
+            adj_coarse = coarsen_chain(assignment, adjacency)
             if self.soft_sampling:
                 noise_rng = self.rng if self.training else None
                 adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
@@ -154,9 +162,8 @@ class GraphCoarsening(Module):
         if mask is None:
             mask = np.ones(h.shape[:2], dtype=np.float64)
         assignment = self.attention(h, mask)  # (B, N, N')
-        assignment_t = transpose(assignment, (0, 2, 1))
-        h_coarse = bmm(assignment_t, h)  # Eq. 17
-        adj_coarse = bmm(bmm(assignment_t, adjacency), assignment)  # Eq. 18
+        h_coarse = matmul_tn(assignment, h)  # Eq. 17
+        adj_coarse = coarsen_chain(assignment, adjacency)  # Eq. 18
         if self.soft_sampling:
             noise_rng = self.rng if self.training else None
             adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)

@@ -32,12 +32,11 @@ from repro.observe.tracing import span
 from repro.tensor import (
     Tensor,
     as_tensor,
-    bmm,
     concat,
     leaky_relu,
-    masked_softmax,
+    masked_softmax_mean,
+    matmul_tn,
     pad2d,
-    softmax,
     transpose,
 )
 
@@ -89,7 +88,7 @@ class MOA(Module):
         j-th row is ψ(C_{(·,j)})."""
         n, n_prime = content.shape
         if self.relaxation == "project":
-            return (content.T @ content) * (1.0 / n)
+            return matmul_tn(content, content) * (1.0 / n)
         # 'pad': zero-pad columns when N < N', truncate when N > N'.
         if n < n_prime:
             padded = pad2d(content, rows_after=n_prime - n)
@@ -145,7 +144,9 @@ class MOA(Module):
                 + col_scores.reshape(1, n_prime, self.num_heads),
                 self.negative_slope,
             )
-            return softmax(scores, axis=1).mean(axis=2)
+            # Fused softmax+head-mean: one traversal, no (N, N', H)
+            # probability intermediate on the tape (docs/performance.md).
+            return masked_softmax_mean(scores, axis=1, mean_axis=2)
 
     # ------------------------------------------------------------------
     # Batched execution path (docs/batching.md)
@@ -162,7 +163,7 @@ class MOA(Module):
         batch, n, n_prime = masked_content.shape
         if self.relaxation == "project":
             inv = 1.0 / np.maximum(np.asarray(counts, dtype=np.float64), 1.0)
-            gram = bmm(transpose(masked_content, (0, 2, 1)), masked_content)
+            gram = matmul_tn(masked_content, masked_content)
             return gram * Tensor(inv[:, None, None])
         if n < n_prime:
             zeros = Tensor(np.zeros((batch, n_prime - n, n_prime)))
@@ -206,8 +207,9 @@ class MOA(Module):
             + col_scores.reshape(batch, 1, n_prime, self.num_heads),
             self.negative_slope,
         )
-        probs = masked_softmax(scores, mask_arr[:, :, None, None], axis=2)
-        return probs.mean(axis=3)
+        return masked_softmax_mean(
+            scores, mask_arr[:, :, None, None], axis=2, mean_axis=3
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -26,6 +26,7 @@ from repro.tensor import (
     segment_softmax,
     softmax,
     spmm,
+    sym_normalize,
     where,
 )
 
@@ -38,14 +39,14 @@ def _adjacency_tensor(adjacency) -> Tensor:
 def normalize_adjacency(adjacency, eps: float = 1e-8) -> Tensor:
     """Symmetric normalisation ``D̃^{-1/2} Ã D̃^{-1/2}`` with self-loops.
 
-    Differentiable when ``adjacency`` is a Tensor.
+    Differentiable when ``adjacency`` is a Tensor.  Runs as the fused
+    :func:`repro.tensor.ops.sym_normalize` kernel — one tape node
+    instead of the six-op chain, same forward values bit for bit.
     """
     adj = _adjacency_tensor(adjacency)
-    n = adj.shape[0]
-    adj_tilde = adj + Tensor(np.eye(n))
-    degree = adj_tilde.sum(axis=1)
-    inv_sqrt = power(degree + eps, -0.5)
-    return adj_tilde * inv_sqrt.reshape(n, 1) * inv_sqrt.reshape(1, n)
+    if adj.ndim != 2:
+        raise ValueError(f"expected (N, N) adjacency, got shape {adj.shape}")
+    return sym_normalize(adj, eps)
 
 
 def normalize_adjacency_sparse(adjacency: CSRMatrix, eps: float = 1e-8) -> CSRMatrix:
@@ -58,12 +59,21 @@ def normalize_adjacency_sparse(adjacency: CSRMatrix, eps: float = 1e-8) -> CSRMa
     is a *constant* — the sparse backend treats the input adjacency as
     fixed structure (differentiable adjacencies only appear in the
     coarsened levels, which stay dense).
+
+    Constancy also makes the result cacheable: every GCN layer at every
+    epoch normalises the same structure, so the normalised matrix is
+    memoised on the input's :meth:`~repro.tensor.sparse.CSRMatrix.cached`
+    store and computed once per adjacency.
     """
-    adj_tilde = adjacency.with_self_loops()
-    inv_sqrt = (adj_tilde.row_sums() + eps) ** -0.5
-    return adj_tilde.with_data(
-        inv_sqrt[adj_tilde.row_ids] * adj_tilde.data * inv_sqrt[adj_tilde.indices]
-    )
+
+    def build(adjacency: CSRMatrix) -> CSRMatrix:
+        adj_tilde = adjacency.with_self_loops()
+        inv_sqrt = (adj_tilde.row_sums() + eps) ** -0.5
+        return adj_tilde.with_data(
+            inv_sqrt[adj_tilde.row_ids] * adj_tilde.data * inv_sqrt[adj_tilde.indices]
+        )
+
+    return adjacency.cached(("sym_norm", eps), build)
 
 
 def normalize_adjacency_batched(adjacency, eps: float = 1e-8) -> Tensor:
@@ -80,11 +90,7 @@ def normalize_adjacency_batched(adjacency, eps: float = 1e-8) -> Tensor:
     adj = _adjacency_tensor(adjacency)
     if adj.ndim != 3:
         raise ValueError(f"expected (B, N, N) adjacency, got shape {adj.shape}")
-    batch, n, _ = adj.shape
-    adj_tilde = adj + Tensor(np.eye(n))
-    degree = adj_tilde.sum(axis=-1)  # (B, N)
-    inv_sqrt = power(degree + eps, -0.5)
-    return adj_tilde * inv_sqrt.reshape(batch, n, 1) * inv_sqrt.reshape(batch, 1, n)
+    return sym_normalize(adj, eps)
 
 
 def _activate(out, activation: str):

@@ -22,7 +22,12 @@ Functional ops
     dense-batch execution path (docs/batching.md); sparse primitives
     (``segment_sum, scatter_gather, spmm, segment_softmax``) over a
     constant ``CSRMatrix`` back the sparse execution backend
-    (docs/sparse.md).
+    (docs/sparse.md); fused hot-path kernels (``masked_softmax_mean,
+    matmul_tn, coarsen_chain, sym_normalize``) collapse the profiled
+    MOA/coarsening chains into single tape nodes (docs/performance.md).
+``BufferPool`` / ``buffer_pool`` / ``get_buffer_pool``
+    Step-to-step gradient buffer recycling for the backward pass
+    (:mod:`repro.tensor.pool`).
 ``CSRMatrix``
     Compressed-sparse-row adjacency (:mod:`repro.tensor.sparse`).
 ``numeric_gradient``
@@ -36,9 +41,12 @@ from repro.tensor.ops import (
     add,
     bmm,
     clip,
+    coarsen_chain,
     masked_mean,
     masked_softmax,
+    masked_softmax_mean,
     masked_sum,
+    matmul_tn,
     min_along,
     norm,
     concat,
@@ -66,10 +74,12 @@ from repro.tensor.ops import (
     sqrt,
     stack,
     sum_along,
+    sym_normalize,
     tanh,
     transpose,
     where,
 )
+from repro.tensor.pool import BufferPool, buffer_pool, get_buffer_pool
 from repro.tensor.gradcheck import numeric_gradient, check_gradients
 
 __all__ = [
@@ -82,9 +92,12 @@ __all__ = [
     "add",
     "bmm",
     "clip",
+    "coarsen_chain",
     "masked_mean",
     "masked_softmax",
+    "masked_softmax_mean",
     "masked_sum",
+    "matmul_tn",
     "min_along",
     "norm",
     "concat",
@@ -112,9 +125,13 @@ __all__ = [
     "sqrt",
     "stack",
     "sum_along",
+    "sym_normalize",
     "tanh",
     "transpose",
     "where",
+    "BufferPool",
+    "buffer_pool",
+    "get_buffer_pool",
     "numeric_gradient",
     "check_gradients",
 ]

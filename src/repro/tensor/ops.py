@@ -480,8 +480,17 @@ def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
         raise ValueError(f"num_segments must be non-negative, got {num_segments}")
     if seg.size and (seg.min() < 0 or seg.max() >= num_segments):
         raise ValueError(f"segment ids out of range [0, {num_segments})")
-    out_data = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
-    np.add.at(out_data, seg, values.data)
+    if values.ndim == 1:
+        # bincount accumulates in entry order — bitwise identical to the
+        # np.add.at scatter, minus its per-element dispatch overhead.
+        out_data = np.bincount(
+            seg, weights=values.data, minlength=num_segments
+        )
+    else:
+        out_data = np.zeros(
+            (num_segments,) + values.shape[1:], dtype=np.float64
+        )
+        np.add.at(out_data, seg, values.data)
 
     def backward(grad):
         return (np.asarray(grad)[seg],)
@@ -519,6 +528,15 @@ def spmm(csr: CSRMatrix, dense: Tensor, values: Tensor | None = None) -> Tensor:
     ``(E,)`` tensor of per-edge weights (sparse GAT attention); gradients
     then flow into both ``dense`` and ``values``.  Without it, the edge
     weights are the CSR's constant data.
+
+    Both directions run through scipy's compiled CSR kernels when scipy
+    is importable: the forward as ``A @ H`` on a cached handle, the
+    backward scatter as ``A^T @ G`` on the cached transpose layout.
+    scipy accumulates each output row over its column-sorted entries in
+    exactly the order the ``np.add.at`` reference walks them, so the
+    results are bitwise identical (tests/test_fused_kernels.py pins
+    this) at a fraction of the per-element dispatch cost.  Without
+    scipy, the scatter-add reference below runs instead.
     """
     dense = as_tensor(dense)
     n_rows, n_cols = csr.shape
@@ -531,6 +549,7 @@ def spmm(csr: CSRMatrix, dense: Tensor, values: Tensor | None = None) -> Tensor:
     if values is None:
         vals_data = csr.data
         parents: tuple = (dense,)
+        handle = csr.scipy_csr()
     else:
         values = as_tensor(values)
         if values.shape != (csr.nnz,):
@@ -539,29 +558,42 @@ def spmm(csr: CSRMatrix, dense: Tensor, values: Tensor | None = None) -> Tensor:
             )
         vals_data = values.data
         parents = (dense, values)
+        handle = csr.scipy_csr_with(vals_data)
     row_ids, col_ids = csr.row_ids, csr.indices
-    gathered = dense.data[col_ids]  # (E, ...) neighbour rows
-    if dense.ndim == 1:
-        weighted = vals_data * gathered
-    else:
-        weighted = vals_data[:, None] * gathered
-    out_data = np.zeros((n_rows,) + dense.shape[1:], dtype=np.float64)
-    np.add.at(out_data, row_ids, weighted)
+    if handle is not None:
+        out_data = handle @ dense.data
+    else:  # pragma: no cover - exercised only without scipy
+        gathered = dense.data[col_ids]
+        if dense.ndim == 1:
+            weighted = vals_data * gathered
+        else:
+            weighted = vals_data[:, None] * gathered
+        out_data = np.zeros((n_rows,) + dense.shape[1:], dtype=np.float64)
+        np.add.at(out_data, row_ids, weighted)
 
     def backward(grad):
         g = np.asarray(grad)
-        g_edges = g[row_ids]  # (E, ...)
         grad_dense = None
         if dense.requires_grad:
-            grad_dense = np.zeros(dense.shape, dtype=np.float64)
-            if dense.ndim == 1:
-                np.add.at(grad_dense, col_ids, vals_data * g_edges)
+            if values is None:
+                t_handle = csr.scipy_csr_t()
             else:
-                np.add.at(grad_dense, col_ids, vals_data[:, None] * g_edges)
+                t_handle = csr.scipy_csr_t_with(vals_data)
+            if t_handle is not None:
+                grad_dense = t_handle @ g
+            else:  # pragma: no cover - exercised only without scipy
+                g_edges = g[row_ids]
+                grad_dense = np.zeros(dense.shape, dtype=np.float64)
+                if dense.ndim == 1:
+                    np.add.at(grad_dense, col_ids, vals_data * g_edges)
+                else:
+                    np.add.at(grad_dense, col_ids, vals_data[:, None] * g_edges)
         if values is None:
             return (grad_dense,)
         grad_values = None
         if values.requires_grad:
+            gathered = dense.data[col_ids]
+            g_edges = g[row_ids]
             if dense.ndim == 1:
                 grad_values = gathered * g_edges
             else:
@@ -593,6 +625,188 @@ def segment_softmax(logits: Tensor, segment_ids, num_segments: int) -> Tensor:
     # Every gathered denominator belongs to a non-empty segment, so it is
     # at least exp(0) = 1 for that segment's max entry — never zero.
     return exps / scatter_gather(denom, seg)
+
+
+# ---------------------------------------------------------------------------
+# Fused hot-path kernels (docs/performance.md)
+# ---------------------------------------------------------------------------
+#
+# Profiling (tools/hotspots.py over results/profile_*.json) shows HAP's
+# step time concentrated in MOA's softmax→head-mean and the coarsening
+# chain S^T (A S).  Each kernel below collapses a several-node tape
+# subgraph into ONE node with an analytic vector-Jacobian product: one
+# forward traversal, one backward closure, no interior gradient buffers.
+# Every kernel is pinned against its unfused composition — bitwise where
+# the arithmetic order is preserved, <1e-6 otherwise — by
+# tests/test_fused_kernels.py (the ``pytest -m fused`` CI gate).
+
+
+def masked_softmax_mean(a: Tensor, mask=None, axis: int = -2, mean_axis: int = -1) -> Tensor:
+    """Fused ``masked_softmax(a, mask, axis).mean(mean_axis)`` (MOA Eq. 15).
+
+    The attention probabilities are normalised along ``axis`` (masked
+    positions get *exactly* zero mass, as in :func:`masked_softmax`;
+    ``mask=None`` is the plain stabilised softmax) and averaged over the
+    ``mean_axis`` head dimension in one traversal.  The unfused
+    composition records two tape nodes and re-materialises the full
+    ``(..., H)`` probability block as an output *and* a gradient buffer;
+    here the probabilities live only inside the closure — and for the
+    single-head case they are not retained at all (the output *is* the
+    probability block, so the backward reconstructs them for free).
+    """
+    a = as_tensor(a)
+    heads = a.shape[mean_axis]
+    if mask is None:
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        probs = exps / exps.sum(axis=axis, keepdims=True)
+    else:
+        m = np.broadcast_to(np.asarray(mask, dtype=bool), a.shape)
+        neg = np.where(m, a.data, -np.inf)
+        row_max = neg.max(axis=axis, keepdims=True)
+        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+        exps = np.exp(neg - row_max)
+        denom = exps.sum(axis=axis, keepdims=True)
+        probs = exps / np.where(denom == 0.0, 1.0, denom)
+    out_data = probs.mean(axis=mean_axis)
+    keep = probs if heads != 1 else None
+
+    def backward(grad):
+        ghat = np.expand_dims(np.asarray(grad), mean_axis) / heads
+        p = keep if keep is not None else np.expand_dims(out_data, mean_axis)
+        dot = (ghat * p).sum(axis=axis, keepdims=True)
+        return (p * (ghat - dot),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def matmul_tn(a: Tensor, b: Tensor) -> Tensor:
+    """``a^T @ b`` (2-D) / ``swapaxes(a, -1, -2) @ b`` (batched 3-D).
+
+    The transpose-first operand shows up in every pooling contraction
+    (``H' = M^T H``, Eq. 17).  Composing ``transpose`` + ``matmul``
+    costs an extra tape node and runs the generic rank-dispatching
+    matmul VJP; this kernel reads ``a`` through a strided view and uses
+    the closed-form gradients ``dA = B G^T``, ``dB = A G``.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim not in (2, 3) or b.ndim != a.ndim:
+        raise ValueError(
+            f"matmul_tn expects two 2-D or two 3-D tensors, got "
+            f"{a.ndim}-D and {b.ndim}-D"
+        )
+    out_data = np.swapaxes(a.data, -1, -2) @ b.data
+
+    def backward(grad):
+        g = np.asarray(grad)
+        grad_a = b.data @ np.swapaxes(g, -1, -2) if a.requires_grad else None
+        grad_b = a.data @ g if b.requires_grad else None
+        return (grad_a, grad_b)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def coarsen_chain(assignment: Tensor, adjacency) -> Tensor:
+    """Fused coarsening chain ``A' = M^T (A M)`` (Eq. 18).
+
+    One tape node for the whole chain, evaluated in the sparse-safe
+    order — ``A M`` first (``(N, N')``), then ``M^T`` against it — so
+    the wide ``(N', N) @ (N, N)`` product is never materialised.
+    ``adjacency`` may be a dense Tensor/array (2-D or batched 3-D,
+    differentiable) or a constant :class:`CSRMatrix` whose product runs
+    through the cached scipy kernels of :func:`spmm`.
+
+    Backward uses the closed forms ``dM = (A M) G^T + (A^T M) G`` (the
+    first factor reuses the forward's ``A M``) and ``dA = M G M^T``.
+    """
+    m = as_tensor(assignment)
+    if isinstance(adjacency, CSRMatrix):
+        if m.ndim != 2:
+            raise ValueError(
+                f"coarsen_chain needs a 2-D assignment for a CSR adjacency, "
+                f"got {m.ndim}-D"
+            )
+        handle = adjacency.scipy_csr()
+        if handle is not None:
+            am = handle @ m.data
+        else:  # pragma: no cover - exercised only without scipy
+            am = np.zeros((adjacency.shape[0],) + m.shape[1:], dtype=np.float64)
+            np.add.at(
+                am, adjacency.row_ids,
+                adjacency.data[:, None] * m.data[adjacency.indices],
+            )
+        out_data = m.data.T @ am
+
+        def backward_sparse(grad):
+            g = np.asarray(grad)
+            t_handle = adjacency.scipy_csr_t()
+            if t_handle is not None:
+                atm = t_handle @ m.data
+            else:  # pragma: no cover - exercised only without scipy
+                atm = np.zeros_like(am)
+                np.add.at(
+                    atm, adjacency.indices,
+                    adjacency.data[:, None] * m.data[adjacency.row_ids],
+                )
+            return (am @ g.T + atm @ g,)
+
+        return Tensor._make(out_data, (m,), backward_sparse)
+
+    adj = as_tensor(adjacency)
+    if m.ndim not in (2, 3) or adj.ndim != m.ndim:
+        raise ValueError(
+            f"coarsen_chain expects matching 2-D or 3-D operands, got "
+            f"{m.ndim}-D assignment and {adj.ndim}-D adjacency"
+        )
+    am = adj.data @ m.data
+    out_data = np.swapaxes(m.data, -1, -2) @ am
+
+    def backward(grad):
+        g = np.asarray(grad)
+        grad_m = None
+        if m.requires_grad:
+            atm = np.swapaxes(adj.data, -1, -2) @ m.data
+            grad_m = am @ np.swapaxes(g, -1, -2) + atm @ g
+        grad_adj = None
+        if adj.requires_grad:
+            grad_adj = m.data @ g @ np.swapaxes(m.data, -1, -2)
+        return (grad_m, grad_adj)
+
+    return Tensor._make(out_data, (m, adj), backward)
+
+
+def sym_normalize(adjacency: Tensor, eps: float = 1e-8) -> Tensor:
+    """Fused symmetric normalisation ``D̃^{-1/2} (A + I) D̃^{-1/2}`` (Eq. 12).
+
+    Collapses the six-node chain the GCN layers previously recorded per
+    forward (add-eye, degree sum, power, two scaling muls) into one
+    node.  Accepts a single ``(N, N)`` adjacency or a batched
+    ``(B, N, N)`` stack; forward values are bitwise identical to the
+    unfused :func:`repro.gnn.layers.normalize_adjacency` chain (same
+    operations, same order), the analytic backward matches it <1e-12.
+    """
+    adj = as_tensor(adjacency)
+    if adj.ndim not in (2, 3):
+        raise ValueError(
+            f"sym_normalize expects a 2-D or 3-D adjacency, got {adj.ndim}-D"
+        )
+    n = adj.shape[-1]
+    a_tilde = adj.data + np.eye(n)
+    degree = a_tilde.sum(axis=-1)
+    inv_sqrt = (degree + eps) ** -0.5
+    out_data = a_tilde * inv_sqrt[..., :, None] * inv_sqrt[..., None, :]
+
+    def backward(grad):
+        g = np.asarray(grad)
+        di = inv_sqrt[..., :, None]
+        dj = inv_sqrt[..., None, :]
+        ga = g * a_tilde
+        # d_i receives mass from row i (out_ij) and column i (out_ji).
+        d_grad = (ga * dj).sum(axis=-1) + (ga * di).sum(axis=-2)
+        s_grad = d_grad * (-0.5) * (degree + eps) ** -1.5
+        return (g * di * dj + s_grad[..., :, None],)
+
+    return Tensor._make(out_data, (adj,), backward)
 
 
 # ---------------------------------------------------------------------------
@@ -760,6 +974,10 @@ _INSTRUMENTED_OPS = (
     "segment_sum",
     "scatter_gather",
     "spmm",
+    "masked_softmax_mean",
+    "matmul_tn",
+    "coarsen_chain",
+    "sym_normalize",
     "sum_along",
     "mean",
     "max_along",
@@ -772,3 +990,11 @@ _INSTRUMENTED_OPS = (
 for _name in _INSTRUMENTED_OPS:
     globals()[_name] = _instrumented(_name, globals()[_name])
 del _name
+
+# Hoist this module onto the Tensor class so dunder dispatch resolves ops
+# through one attribute load instead of re-importing per call.
+import sys as _sys  # noqa: E402
+
+from repro.tensor import tensor as _tensor_module  # noqa: E402
+
+_tensor_module._OPS = _sys.modules[__name__]

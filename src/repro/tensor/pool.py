@@ -1,0 +1,140 @@
+"""Gradient buffer pool: step-to-step allocation reuse for backward.
+
+Every training step allocates the same set of gradient accumulation
+buffers — one per multi-consumer tape node plus one per leaf — and
+throws them away when the optimizer has consumed them.  On the bench
+workloads that malloc/free churn is a measurable slice of step time
+(see docs/performance.md).  A :class:`BufferPool` keeps the freed
+arrays keyed by ``(shape, dtype)`` so the next step's backward reuses
+them instead of re-allocating.
+
+The pool never changes numerics: buffers are always fully overwritten
+(``np.add(..., out=buf)`` / ``np.copyto``) before use, so gradients are
+bitwise identical with and without pooling — asserted by
+``tests/test_checkpoint_resume.py``.
+
+Usage::
+
+    with buffer_pool() as pool:
+        for step in steps:
+            loss = model.loss(batch)
+            model.zero_grad()     # releases last step's leaf grads
+            loss.backward()       # acquires from / retires into the pool
+            optimizer.step()
+        print(pool.stats())
+
+Safety model (why recycling cannot corrupt a live gradient):
+
+* ``acquire`` keeps a strong reference to every buffer it hands out
+  (``_leased``), so a buffer's ``id`` stays valid — and ``release`` is
+  a strict no-op for arrays the pool did not create, which lets callers
+  release unconditionally.
+* ``Tensor.backward`` only writes in place into buffers it acquired
+  itself during the current pass (its ``fresh`` set); arrays returned
+  by op closures are never mutated, because a closure may alias one
+  array into several parent gradients.
+* Buffers that were fed into a backward closure are *retired*, not
+  released, until the pass completes: a closure may return its input
+  gradient (or a view of it) as a parent gradient, so the array must
+  not be handed out again mid-pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+_ACTIVE = threading.local()
+
+
+def get_buffer_pool() -> "BufferPool | None":
+    """Return the pool active on this thread, or ``None``."""
+    return getattr(_ACTIVE, "pool", None)
+
+
+@contextlib.contextmanager
+def buffer_pool(pool: "BufferPool | None" = None):
+    """Activate a gradient buffer pool on this thread.
+
+    ``Tensor.backward`` and ``Tensor.zero_grad`` pick the active pool up
+    automatically; nesting restores the previous pool on exit.  Pass an
+    existing :class:`BufferPool` to share buffers across contexts (the
+    trainer does this so stats survive the whole ``fit()`` run).
+    """
+    if pool is None:
+        pool = BufferPool()
+    previous = get_buffer_pool()
+    _ACTIVE.pool = pool
+    try:
+        yield pool
+    finally:
+        _ACTIVE.pool = previous
+
+
+class BufferPool:
+    """Free-lists of gradient arrays keyed by ``(shape, dtype)``.
+
+    Parameters
+    ----------
+    max_buffers_per_key:
+        Cap on retained free buffers per ``(shape, dtype)`` key, so a
+        one-off giant batch cannot pin its arrays forever.
+    """
+
+    __slots__ = ("_free", "_leased", "max_buffers_per_key", "hits", "misses", "released")
+
+    def __init__(self, max_buffers_per_key: int = 16):
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        # id -> array; the strong reference keeps the id stable while leased.
+        self._leased: dict[int, np.ndarray] = {}
+        self.max_buffers_per_key = int(max_buffers_per_key)
+        self.hits = 0
+        self.misses = 0
+        self.released = 0
+
+    def acquire(self, shape, dtype=np.float64) -> np.ndarray:
+        """Return an *uninitialised* array of ``shape``/``dtype``.
+
+        Callers must fully overwrite the buffer before reading it.
+        """
+        dt = np.dtype(dtype)
+        bucket = self._free.get((tuple(shape), dt.str))
+        if bucket:
+            arr = bucket.pop()
+            self.hits += 1
+        else:
+            arr = np.empty(shape, dtype=dt)
+            self.misses += 1
+        self._leased[id(arr)] = arr
+        return arr
+
+    def release(self, arr) -> None:
+        """Return a leased buffer to the free list (no-op for foreign arrays)."""
+        if self._leased.pop(id(arr), None) is None:
+            return
+        self.released += 1
+        key = (arr.shape, arr.dtype.str)
+        bucket = self._free.setdefault(key, [])
+        if len(bucket) < self.max_buffers_per_key:
+            bucket.append(arr)
+
+    def owns(self, arr) -> bool:
+        """Whether ``arr`` is currently leased from this pool."""
+        return id(arr) in self._leased
+
+    def clear(self) -> None:
+        """Drop all free buffers (leased buffers stay valid)."""
+        self._free.clear()
+
+    def stats(self) -> dict:
+        """Counters: ``hits``/``misses`` on acquire, ``released``, live sizes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "released": self.released,
+            "leased": len(self._leased),
+            "free": sum(len(b) for b in self._free.values()),
+            "free_bytes": sum(a.nbytes for b in self._free.values() for a in b),
+        }

@@ -27,11 +27,26 @@ from __future__ import annotations
 
 import numpy as np
 
+try:  # pragma: no cover - scipy is a declared dependency; the fallback
+    # keeps the kernels importable on a stripped-down interpreter
+    import scipy.sparse as _scipy_sparse
+except ImportError:  # pragma: no cover
+    _scipy_sparse = None
+
 
 class CSRMatrix:
-    """A constant sparse matrix in compressed-sparse-row layout."""
+    """A constant sparse matrix in compressed-sparse-row layout.
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_row_ids")
+    Because the structure *and* values are constant, every derived
+    quantity — the COO row ids, the scipy handle driving
+    :func:`repro.tensor.ops.spmm`, the transpose permutation used by its
+    backward scatter, self-loop/normalised variants — is computed once
+    and cached on the instance (``docs/performance.md``).  Caches never
+    travel through pickle: a round-tripped matrix carries only the four
+    defining arrays and rebuilds lazily.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape", "_row_ids", "_cache")
 
     def __init__(self, indptr, indices, data, shape: tuple[int, int]):
         indptr = np.asarray(indptr, dtype=np.intp)
@@ -60,6 +75,7 @@ class CSRMatrix:
         self.data = data
         self.shape = (n_rows, n_cols)
         self._row_ids: np.ndarray | None = None
+        self._cache: dict = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -81,6 +97,103 @@ class CSRMatrix:
 
     def __repr__(self) -> str:
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    # Pickling: ship only the defining arrays, never the caches (scipy
+    # handles and derived matrices would bloat shard/checkpoint payloads
+    # and every worker can rebuild them lazily anyway).
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self.indptr, self.indices, self.data, self.shape)
+
+    def __setstate__(self, state):
+        indptr, indices, data, shape = state
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = shape
+        self._row_ids = None
+        self._cache = {}
+
+    def __reduce__(self):
+        return (_rebuild_csr, self.__getstate__())
+
+    # ------------------------------------------------------------------
+    # Cached execution-kernel structures (docs/performance.md)
+    # ------------------------------------------------------------------
+    def scipy_csr(self):
+        """The scipy CSR handle for forward ``A @ H`` products.
+
+        scipy's compiled kernel accumulates each output row over its
+        column-sorted entries — the same order ``np.add.at`` walks them —
+        so results are bitwise identical to the scatter-add reference
+        (tests/test_fused_kernels.py) at a fraction of the cost.
+        Returns None when scipy is unavailable.
+        """
+        if _scipy_sparse is None:
+            return None
+        handle = self._cache.get("scipy")
+        if handle is None:
+            handle = _scipy_sparse.csr_matrix(
+                (self.data, self.indices, self.indptr), shape=self.shape
+            )
+            self._cache["scipy"] = handle
+        return handle
+
+    def transpose_permutation(self):
+        """``(perm, t_indices, t_indptr)`` mapping entries into the
+        transposed CSR layout (sorted by column, then row).
+
+        The backward scatter of :func:`repro.tensor.ops.spmm` is exactly
+        ``A^T @ G``; reordering the edge values with ``perm`` into this
+        layout lets scipy run it as a forward product while preserving
+        the accumulation order of the ``np.add.at`` reference.
+        """
+        cached = self._cache.get("t_perm")
+        if cached is None:
+            row_ids, col_ids = self.row_ids, self.indices
+            perm = np.lexsort((row_ids, col_ids))
+            t_indptr = np.zeros(self.shape[1] + 1, dtype=np.intp)
+            np.cumsum(
+                np.bincount(col_ids, minlength=self.shape[1]), out=t_indptr[1:]
+            )
+            cached = (perm, row_ids[perm], t_indptr)
+            self._cache["t_perm"] = cached
+        return cached
+
+    def scipy_csr_with(self, values: np.ndarray):
+        """A scipy CSR handle over this structure with per-edge
+        ``values`` (the differentiable-weights forward of :func:`spmm`)."""
+        if _scipy_sparse is None:
+            return None
+        return _scipy_sparse.csr_matrix(
+            (np.asarray(values), self.indices, self.indptr), shape=self.shape
+        )
+
+    def scipy_csr_t(self):
+        """Cached scipy handle of the transposed matrix (constant data)."""
+        if _scipy_sparse is None:
+            return None
+        handle = self._cache.get("scipy_t")
+        if handle is None:
+            perm, t_indices, t_indptr = self.transpose_permutation()
+            handle = _scipy_sparse.csr_matrix(
+                (self.data[perm], t_indices, t_indptr),
+                shape=(self.shape[1], self.shape[0]),
+            )
+            self._cache["scipy_t"] = handle
+        return handle
+
+    def scipy_csr_t_with(self, values: np.ndarray):
+        """Transposed scipy handle carrying per-edge ``values`` (the
+        differentiable-weights backward of :func:`spmm`)."""
+        if _scipy_sparse is None:
+            return None
+        perm, t_indices, t_indptr = self.transpose_permutation()
+        return _scipy_sparse.csr_matrix(
+            (np.asarray(values)[perm], t_indices, t_indptr),
+            shape=(self.shape[1], self.shape[0]),
+        )
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -148,27 +261,54 @@ class CSRMatrix:
         return out
 
     def transpose(self) -> "CSRMatrix":
-        """The transposed matrix (rows and columns swapped)."""
-        return CSRMatrix.from_coo(
-            self.indices, self.row_ids, self.data, (self.shape[1], self.shape[0])
-        )
+        """The transposed matrix (rows and columns swapped); cached."""
+        out = self._cache.get("transpose")
+        if out is None:
+            out = CSRMatrix.from_coo(
+                self.indices, self.row_ids, self.data, (self.shape[1], self.shape[0])
+            )
+            self._cache["transpose"] = out
+        return out
 
     def with_self_loops(self, value: float = 1.0) -> "CSRMatrix":
         """``A + value * I`` — existing diagonal entries accumulate, just
-        like the dense ``adjacency + np.eye(n)``.  Square matrices only."""
+        like the dense ``adjacency + np.eye(n)``.  Square matrices only.
+        The result is cached per loop weight: GNN layers renormalise the
+        same constant adjacency every forward, and rebuilding the merged
+        structure costs a full lexsort each time."""
+        cached = self._cache.get(("self_loops", value))
+        if cached is not None:
+            return cached
         n_rows, n_cols = self.shape
         if n_rows != n_cols:
             raise ValueError(f"self-loops need a square matrix, got {self.shape}")
         diag = np.arange(n_rows, dtype=np.intp)
-        return CSRMatrix.from_coo(
+        out = CSRMatrix.from_coo(
             np.concatenate([self.row_ids, diag]),
             np.concatenate([self.indices, diag]),
             np.concatenate([self.data, np.full(n_rows, float(value))]),
             self.shape,
         )
+        self._cache[("self_loops", value)] = out
+        return out
+
+    def cached(self, key, factory):
+        """Memoise ``factory(self)`` under ``key`` on this constant
+        matrix (e.g. the symmetric-normalised variant a GCN layer needs
+        every step; see :func:`repro.gnn.layers.normalize_adjacency_sparse`)."""
+        value = self._cache.get(key)
+        if value is None:
+            value = factory(self)
+            self._cache[key] = value
+        return value
 
     def row_sums(self) -> np.ndarray:
         """``(N,)`` sum of every row (the weighted out-degree)."""
-        out = np.zeros(self.shape[0], dtype=np.float64)
-        np.add.at(out, self.row_ids, self.data)
-        return out
+        # bincount accumulates in entry order, exactly like np.add.at,
+        # without the per-element dispatch cost.
+        return np.bincount(self.row_ids, weights=self.data, minlength=self.shape[0])
+
+
+def _rebuild_csr(indptr, indices, data, shape) -> CSRMatrix:
+    """Pickle reconstructor (module-level so it pickles by name)."""
+    return CSRMatrix(indptr, indices, data, shape)

@@ -17,7 +17,28 @@ import threading
 
 import numpy as np
 
+from repro.tensor.pool import get_buffer_pool
+
 _STATE = threading.local()
+
+
+class _LazyOps:
+    """Bootstrap placeholder for the ops module.
+
+    :mod:`repro.tensor.ops` replaces this with itself at the end of its
+    own import (``tensor._OPS = sys.modules[__name__]``), so operator
+    dunders pay one module-global load per call instead of running the
+    import machinery.  This fallback only fires if a dunder is hit while
+    ops is still mid-import.
+    """
+
+    def __getattr__(self, name):  # pragma: no cover - import-order fallback
+        from repro.tensor import ops
+
+        return getattr(ops, name)
+
+
+_OPS = _LazyOps()
 
 
 def is_grad_enabled() -> bool:
@@ -94,9 +115,7 @@ class Tensor:
 
     @property
     def T(self) -> "Tensor":
-        from repro.tensor import ops
-
-        return ops.transpose(self)
+        return _OPS.transpose(self)
 
     def __len__(self) -> int:
         return len(self.data)
@@ -118,8 +137,16 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient."""
-        self.grad = None
+        """Reset the accumulated gradient.
+
+        With an active :func:`repro.tensor.pool.buffer_pool`, the old
+        gradient array is recycled so the next backward pass reuses it.
+        """
+        if self.grad is not None:
+            pool = get_buffer_pool()
+            if pool is not None:
+                pool.release(self.grad)
+            self.grad = None
 
     # ------------------------------------------------------------------
     # Tape construction
@@ -132,11 +159,29 @@ class Tensor:
         maps the output gradient to a tuple of parent gradients (None for
         parents that do not require grad).
         """
-        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=needs)
+        needs = False
+        if getattr(_STATE, "grad_enabled", True):
+            for p in parents:
+                if p.requires_grad:
+                    needs = True
+                    break
+        # Fast construction path: ops hand us freshly computed float64
+        # arrays, so skip ``__init__``'s coercion (asarray + dtype check
+        # are the dominant per-op dispatch cost on small workloads).
+        data = np.asarray(data)
+        if data.dtype.kind not in "iub" and data.dtype != np.float64:
+            data = data.astype(np.float64)  # pragma: no cover - ops emit f64
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = needs
+        out.name = None
         if needs:
             out._parents = tuple((p, None) for p in parents)
             out._backward = backward
+        else:
+            out._parents = ()
+            out._backward = None
         return out
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -172,27 +217,81 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in seen:
                     stack.append((parent, False))
 
+        # With an active buffer pool, accumulation buffers are acquired
+        # from (and eventually recycled into) the pool.  ``fresh`` holds
+        # ids of buffers this pass acquired and still uniquely owns —
+        # only those may be written in place; arrays returned by op
+        # closures are never mutated since a closure may alias one array
+        # into several parent gradients.  A fresh buffer stops being
+        # fresh the moment it is popped and fed to a closure (which may
+        # return it, or a view of it, as a parent gradient); it is then
+        # *retired* and only released once the whole pass is done.
+        pool = get_buffer_pool()
+        fresh: set[int] = set()
+        retired: list[np.ndarray] = []
         grads: dict[int, np.ndarray] = {id(self): grad}
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
+            was_fresh = id(node_grad) in fresh
+            if was_fresh:
+                fresh.discard(id(node_grad))
             if node._backward is None:
                 # Leaf tensor: accumulate.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    if was_fresh:
+                        # Transfer ownership: the accumulation buffer was
+                        # never seen by a closure, so nothing aliases it.
+                        node.grad = node_grad
+                    elif pool is not None:
+                        buf = pool.acquire(node_grad.shape, node_grad.dtype)
+                        np.copyto(buf, node_grad)
+                        node.grad = buf
+                    else:
+                        node.grad = node_grad.copy()
                 else:
-                    node.grad = node.grad + node_grad
+                    if (
+                        pool is not None
+                        and pool.owns(node.grad)
+                        and node.grad.shape == node_grad.shape
+                    ):
+                        np.add(node.grad, node_grad, out=node.grad)
+                    else:
+                        node.grad = node.grad + node_grad
+                    if was_fresh:
+                        retired.append(node_grad)
                 continue
             parent_grads = node._backward(node_grad)
+            if was_fresh:
+                retired.append(node_grad)
             for (parent, _), pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
                 key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + pgrad
-                else:
+                existing = grads.get(key)
+                if existing is None:
                     grads[key] = pgrad
+                elif (
+                    id(existing) in fresh
+                    and existing.shape == np.shape(pgrad)
+                ):
+                    np.add(existing, pgrad, out=existing)
+                elif pool is not None and existing.shape == np.shape(pgrad):
+                    buf = pool.acquire(existing.shape, existing.dtype)
+                    np.add(existing, pgrad, out=buf)
+                    grads[key] = buf
+                    fresh.add(id(buf))
+                else:
+                    # Shape-mismatched accumulation (a broadcast gradient
+                    # meeting a full one) stays on the allocating path.
+                    if id(existing) in fresh:
+                        fresh.discard(id(existing))
+                        retired.append(existing)
+                    grads[key] = existing + pgrad
+        if pool is not None:
+            for arr in retired:
+                pool.release(arr)
         # Any remaining gradient entries belong to leaves reached without
         # interior processing (e.g. self is a leaf).
         if not order and self._backward is None:
@@ -205,94 +304,62 @@ class Tensor:
     # Operator overloads (delegate to repro.tensor.ops)
     # ------------------------------------------------------------------
     def __add__(self, other):
-        from repro.tensor import ops
-
-        return ops.add(self, as_tensor(other))
+        return _OPS.add(self, as_tensor(other))
 
     __radd__ = __add__
 
     def __sub__(self, other):
-        from repro.tensor import ops
-
-        return ops.sub(self, as_tensor(other))
+        return _OPS.sub(self, as_tensor(other))
 
     def __rsub__(self, other):
-        from repro.tensor import ops
-
-        return ops.sub(as_tensor(other), self)
+        return _OPS.sub(as_tensor(other), self)
 
     def __mul__(self, other):
-        from repro.tensor import ops
-
-        return ops.mul(self, as_tensor(other))
+        return _OPS.mul(self, as_tensor(other))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        from repro.tensor import ops
-
-        return ops.div(self, as_tensor(other))
+        return _OPS.div(self, as_tensor(other))
 
     def __rtruediv__(self, other):
-        from repro.tensor import ops
-
-        return ops.div(as_tensor(other), self)
+        return _OPS.div(as_tensor(other), self)
 
     def __neg__(self):
-        from repro.tensor import ops
-
-        return ops.neg(self)
+        return _OPS.neg(self)
 
     def __matmul__(self, other):
-        from repro.tensor import ops
-
-        return ops.matmul(self, as_tensor(other))
+        return _OPS.matmul(self, as_tensor(other))
 
     def __rmatmul__(self, other):
-        from repro.tensor import ops
-
-        return ops.matmul(as_tensor(other), self)
+        return _OPS.matmul(as_tensor(other), self)
 
     def __pow__(self, exponent):
-        from repro.tensor import ops
-
-        return ops.power(self, float(exponent))
+        return _OPS.power(self, float(exponent))
 
     def __getitem__(self, index):
-        from repro.tensor import ops
-
-        return ops.getitem(self, index)
+        return _OPS.getitem(self, index)
 
     # Convenience reductions -------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.sum_along(self, axis=axis, keepdims=keepdims)
+        return _OPS.sum_along(self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.mean(self, axis=axis, keepdims=keepdims)
+        return _OPS.mean(self, axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.max_along(self, axis=axis, keepdims=keepdims)
+        return _OPS.max_along(self, axis=axis, keepdims=keepdims)
 
     def reshape(self, *shape):
-        from repro.tensor import ops
-
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return ops.reshape(self, shape)
+        return _OPS.reshape(self, shape)
 
     def flatten(self):
         return self.reshape(self.data.size)
 
     def transpose(self, axes=None):
-        from repro.tensor import ops
-
-        return ops.transpose(self, axes)
+        return _OPS.transpose(self, axes)
 
 
 def as_tensor(value) -> Tensor:

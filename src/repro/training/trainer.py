@@ -16,6 +16,7 @@ run exactly (docs/checkpointing.md, tests/test_checkpoint_resume.py).
 
 from __future__ import annotations
 
+import contextlib
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -28,6 +29,7 @@ from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.observe.callbacks import Callback, CallbackList, ConsoleLogger
 from repro.observe.tracing import span
+from repro.tensor.pool import BufferPool, buffer_pool
 from repro.training.checkpoint import CheckpointManager, load_checkpoint
 
 
@@ -72,6 +74,11 @@ class TrainConfig:
     #: rolling checkpoints to retain (``best.npz`` is always kept);
     #: None keeps every checkpoint
     checkpoint_keep: int | None = 3
+    #: recycle gradient buffers across steps via a
+    #: :class:`repro.tensor.pool.BufferPool` (docs/performance.md);
+    #: gradients are bitwise identical either way, only the allocation
+    #: strategy changes
+    buffer_pool: bool = True
 
 
 def clip_gradients(parameters, max_norm: float) -> float:
@@ -172,6 +179,16 @@ def fit(
         )
         events.append(ConsoleLogger())
     optimizer = Adam(model.parameters(), lr=config.lr)
+    # One pool for the whole run so freed gradient buffers from step k
+    # are reused by step k+1; activated around each step's
+    # zero_grad/backward pair (a cheap thread-local swap).
+    train_pool = BufferPool() if config.buffer_pool else None
+
+    def pool_scope():
+        if train_pool is None:
+            return contextlib.nullcontext()
+        return buffer_pool(train_pool)
+
     history = TrainHistory()
     best_state = None
     stale = 0
@@ -266,7 +283,7 @@ def fit(
                 if step < first_step:
                     continue
                 batch = order[start : start + config.batch_size]
-                with span("step"):
+                with span("step"), pool_scope():
                     optimizer.zero_grad()
                     with span("forward"):
                         if config.batched:

@@ -48,7 +48,7 @@ def _setup(seed=0):
     return rng, model, graphs, graphs[:3]
 
 
-def _config(checkpoint_dir, batched=False, patience=None):
+def _config(checkpoint_dir, batched=False, patience=None, buffer_pool=True):
     return TrainConfig(
         epochs=EPOCHS,
         lr=0.02,
@@ -59,6 +59,7 @@ def _config(checkpoint_dir, batched=False, patience=None):
         lr_step=2,
         checkpoint_dir=str(checkpoint_dir),
         checkpoint_every=CHECKPOINT_EVERY,
+        buffer_pool=buffer_pool,
     )
 
 
@@ -121,7 +122,7 @@ def _strip_volatile(record):
     }
 
 
-def _assert_identical_runs(ref, res):
+def _assert_identical_runs(ref, res, ignore_config=()):
     """Bitwise equality of two completed runs (no tolerance)."""
     model_a, history_a, dir_a = ref
     model_b, history_b, dir_b = res
@@ -151,7 +152,9 @@ def _assert_identical_runs(ref, res):
             header = json.loads(
                 bytes(archive["__repro_ckpt_header__"]).decode("utf-8")
             )
-            header["config"].pop("checkpoint_dir")  # only allowed difference
+            header["config"].pop("checkpoint_dir")  # always allowed to differ
+            for key in ignore_config:
+                header["config"].pop(key)
             headers.append(header)
         assert headers[0] == headers[1]  # counters, history, rng state, lr
         for key in archive_a.files:
@@ -221,6 +224,54 @@ class TestResumeEquivalence:
         assert [_strip_volatile(r) for r in stitched] == [
             _strip_volatile(r) for r in reference
         ]
+
+
+class TestBufferPoolResume:
+    """The gradient buffer pool never perturbs crash/resume equivalence.
+
+    The pool (docs/performance.md) recycles gradient arrays between
+    steps but is transparent to the numbers: a run that crashes
+    mid-epoch with pooling enabled must resume bitwise-identically,
+    and a pooled run must match a pool-disabled run bit for bit.
+    """
+
+    def test_mid_epoch_crash_resumes_bitwise_with_pool_enabled(self, tmp_path):
+        config_kwargs = dict(batched=False, patience=None)
+        log_a = tmp_path / "run_a.jsonl"
+        rng, model_a, train, val = _setup()
+        history_a = fit(
+            model_a,
+            train,
+            rng,
+            _config(tmp_path / "ckpt_a", buffer_pool=True, **config_kwargs),
+            val_metric=lambda: classification_accuracy(model_a, val),
+            callbacks=[JSONLLogger(log_a, log_batches=True)],
+        )
+        model_b, history_b = _run_crash_then_resume(
+            tmp_path / "ckpt_b",
+            tmp_path / "run_b_crash.jsonl",
+            tmp_path / "run_b_resume.jsonl",
+            at_step=6,  # mid-epoch: two steps into epoch 1
+            **config_kwargs,
+        )
+        _assert_identical_runs(
+            (model_a, history_a, tmp_path / "ckpt_a"),
+            (model_b, history_b, tmp_path / "ckpt_b"),
+        )
+
+    def test_pooled_run_matches_pool_disabled_run_bitwise(self, tmp_path):
+        results = []
+        for name, pooled in (("pooled", True), ("unpooled", False)):
+            rng, model, train, val = _setup()
+            history = fit(
+                model,
+                train,
+                rng,
+                _config(tmp_path / f"ckpt_{name}", buffer_pool=pooled),
+                val_metric=lambda: classification_accuracy(model, val),
+            )
+            results.append((model, history, tmp_path / f"ckpt_{name}"))
+        _assert_identical_runs(*results, ignore_config=("buffer_pool",))
 
 
 class TestResumeState:

@@ -109,6 +109,7 @@ class TestWorkflowShape:
             "profile",
             "parallel",
             "sparse",
+            "fused",
             "serve",
             "streaming",
         }

@@ -10,7 +10,8 @@
 #                 checkpoint (resume bitwise-equivalence), profile
 #                 (instrumentation smoke), parallel (multiprocess
 #                 determinism), sparse (dense-vs-CSR backend
-#                 equivalence), serve (online-serving faithfulness),
+#                 equivalence), fused (fused-kernel equivalence +
+#                 gradchecks), serve (online-serving faithfulness),
 #                 streaming (sharded out-of-core pipeline equivalence)
 #   bench-compare tools/bench_gate.py vs results/bench_baseline.json
 #
@@ -49,6 +50,7 @@ if runs gates; then
     python -m pytest -q -m profile
     python -m pytest -q -m parallel
     python -m pytest -q -m sparse
+    python -m pytest -q -m fused
     python -m pytest -q -m serve
     python -m pytest -q -m streaming
 fi

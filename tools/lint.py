@@ -1,6 +1,6 @@
 """AST-based repository linter (first stage of tools/ci.sh).
 
-Five rules, each targeting a bug class this codebase has actually had
+Seven rules, each targeting a bug class this codebase has actually had
 to design around:
 
 - **no-bare-except** — ``except:`` swallows ``KeyboardInterrupt`` and
@@ -31,6 +31,16 @@ to design around:
   code inside ``src/`` must call ``predict()`` directly so the shim can
   eventually be deleted.  Tests are exempt — they exercise the shim's
   warning on purpose.
+- **no-unfused-attention** — the MOA/coarsening hot path runs through
+  the fused kernels ``masked_softmax_mean`` / ``matmul_tn`` /
+  ``coarsen_chain`` (docs/performance.md), which skip the materialised
+  ``(B, N, N)`` softmax intermediate and its tape nodes.  A function in
+  ``src/repro/core/`` or ``src/repro/pooling/`` that calls
+  ``masked_softmax`` and then ``bmm``/``matmul`` has reintroduced the
+  unfused composition — every number stays correct, only the step time
+  and peak memory regress, so no functional test catches it.  Tests
+  and benchmarks are exempt (the fused-gate suites build the unfused
+  composition on purpose to compare against).
 - **no-materialize-in-streaming-path** — the out-of-core pipeline
   (docs/streaming.md) holds a bounded LRU window of shards; one stray
   ``list(dataset)`` / ``sorted(examples)`` inside a streaming code
@@ -89,6 +99,33 @@ MATERIALIZERS = {"list", "sorted", "tuple"}
 #: rather than a small bookkeeping collection
 CORPUS_HINTS = ("dataset", "stream", "shard", "graphs", "examples", "items", "view")
 
+#: the unfused attention softmax and the dense products it used to feed;
+#: calling both in one hot-path function is the pre-fusion composition
+UNFUSED_SOFTMAX = {"masked_softmax"}
+UNFUSED_PRODUCTS = {"bmm", "matmul"}
+
+
+def _own_scope_call_names(node: ast.AST) -> set[str]:
+    """Names of functions called directly in ``node``'s body.
+
+    Nested function definitions are skipped — they are visited (and
+    checked) as their own scopes.
+    """
+    names: set[str] = set()
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+        stack.extend(ast.iter_child_nodes(child))
+    return names
+
 
 def _is_np_random(node: ast.AST) -> bool:
     """Match ``np.random`` / ``numpy.random`` attribute chains."""
@@ -110,6 +147,11 @@ class Linter(ast.NodeVisitor):
         self.police_densify = "src" in path.parts
         self.police_deprecated = "src" in path.parts
         self.police_materialize = "src" in path.parts
+        #: fusion is policed in the hot-path packages only: the MOA /
+        #: coarsening core and the pooling operator zoo
+        self.police_fusion = "src" in path.parts and (
+            "core" in path.parts or "pooling" in path.parts
+        )
         self._sparse_depth = 0
         #: a whole module named streaming* is one streaming scope
         self._stream_depth = int(
@@ -145,8 +187,24 @@ class Linter(ast.NodeVisitor):
                     "use None and construct inside the function",
                 )
 
+    def _check_fusion(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self.police_fusion:
+            return
+        called = _own_scope_call_names(node)
+        if called & UNFUSED_SOFTMAX and called & UNFUSED_PRODUCTS:
+            softmax_name = ", ".join(sorted(called & UNFUSED_SOFTMAX))
+            product_name = ", ".join(sorted(called & UNFUSED_PRODUCTS))
+            self.report(
+                node, "no-unfused-attention",
+                f"{node.name}() composes {softmax_name} with {product_name} "
+                "— the unfused attention path materialises the (B, N, N) "
+                "softmax intermediate; use masked_softmax_mean / matmul_tn "
+                "/ coarsen_chain instead (docs/performance.md)",
+            )
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_fusion(node)
         sparse_scope = self.police_densify and "sparse" in node.name
         stream_scope = self.police_materialize and "stream" in node.name
         if sparse_scope:
@@ -161,6 +219,7 @@ class Linter(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_fusion(node)
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:

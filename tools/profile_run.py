@@ -325,6 +325,31 @@ def format_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def format_top_ops(report: dict, top: int) -> str:
+    """Flat hot-op table: the ``top`` costliest ops by total time.
+
+    One row per op — name, calls, forward *self* time (child ops
+    excluded, so composite kernels don't double-count), backward time,
+    total, share of all op time, and output bytes — the CLI face of
+    ``tools/hotspots.py`` mining, for hotspot triage without reading
+    the raw JSON.
+    """
+    rows = sorted(report["ops"], key=lambda r: r["total_s"], reverse=True)
+    op_total = sum(r["total_s"] for r in rows) or 1.0
+    lines = [
+        f"top {min(top, len(rows))} ops by total time",
+        f"{'op':<20}{'calls':>7}{'fwd_self_s':>12}{'bwd_s':>9}"
+        f"{'total_s':>9}{'share':>7}{'bytes':>9}",
+    ]
+    for row in rows[:top]:
+        lines.append(
+            f"{row['name']:<20}{row['calls']:>7}{row['forward_self_s']:>12.4f}"
+            f"{row['backward_s']:>9.4f}{row['total_s']:>9.4f}"
+            f"{row['total_s'] / op_total:>7.1%}{_fmt_bytes(row['bytes_out']):>9}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--num-graphs", type=int, default=16)
@@ -362,6 +387,14 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=2,
         help="worker count for --check-parallel",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print a flat table of the N hottest ops "
+        "(name, calls, fwd/bwd self time, bytes)",
     )
     args = parser.parse_args(argv)
 
@@ -401,6 +434,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     validate_profile(report)
     print(format_report(report))
+    if args.top > 0:
+        print()
+        print(format_top_ops(report, args.top))
 
     out = Path(args.out) if args.out else Path("results") / f"profile_{args.tag}.json"
     out.parent.mkdir(parents=True, exist_ok=True)
