@@ -4,12 +4,14 @@ Runs the three downstream tasks and dataset statistics from the shell:
 
     python -m repro stats
     python -m repro classify --method HAP --dataset MUTAG --epochs 50
+    python -m repro regress --dataset ESOL --epochs 30
     python -m repro match --method GMN-HAP --nodes 30
     python -m repro similarity --method HAP --dataset AIDS
     python -m repro classify --method HAP --dataset MUTAG --save model.npz
     python -m repro classify --checkpoint-dir runs/mutag --checkpoint-every 10
     python -m repro classify --checkpoint-dir runs/mutag --resume auto
     python -m repro crossval --method HAP --dataset MUTAG --workers 4
+    python -m repro crossval --dataset ESOL --folds 5
     python -m repro serve --method HAP --dataset IMDB-B --requests 200
     python -m repro query --weights model.npz --mode top_k --k 3
 """
@@ -21,12 +23,13 @@ import sys
 
 import numpy as np
 
-from repro.data.datasets import DATASET_BUILDERS
+from repro.data.datasets import DATASET_BUILDERS, dataset_task
 from repro.evaluation.harness import (
     dataset_statistics_all,
     prepare_dataset,
     run_classification,
     run_matching,
+    run_regression,
     run_similarity,
 )
 from repro.models import zoo
@@ -120,6 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--num-graphs", type=int, default=120)
     classify.add_argument("--save", default=None, help="save trained weights (.npz)")
 
+    regress = sub.add_parser(
+        "regress", help="molecular property regression (docs/molecular.md)"
+    )
+    _add_common(regress)
+    regress.add_argument(
+        "--dataset",
+        default="ESOL",
+        choices=[n for n, v in DATASET_BUILDERS.items() if v[2] == 0],
+    )
+    regress.add_argument("--num-graphs", type=int, default=150)
+    regress.add_argument(
+        "--conv",
+        default="gin",
+        choices=["gin", "sage", "gat"],
+        help="edge-aware message-passing layer (GCN cannot condition "
+        "on bond types)",
+    )
+    regress.add_argument("--save", default=None, help="save trained weights (.npz)")
+
     match = sub.add_parser("match", help="graph matching (Table 4)")
     _add_common(match)
     match.add_argument("--nodes", type=int, default=20)
@@ -132,11 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     similarity.add_argument("--triplets", type=int, default=80)
 
     crossval = sub.add_parser(
-        "crossval", help="k-fold cross-validated classification"
+        "crossval", help="k-fold cross-validated classification/regression"
     )
     _add_common(crossval)
     crossval.add_argument(
-        "--dataset", default="MUTAG", choices=[n for n, v in DATASET_BUILDERS.items() if v[2]]
+        "--dataset",
+        default="MUTAG",
+        choices=[n for n, v in DATASET_BUILDERS.items() if v[2] is not None],
     )
     crossval.add_argument("--folds", type=int, default=5)
     crossval.add_argument("--num-graphs", type=int, default=120)
@@ -279,6 +303,33 @@ def main(argv: list[str] | None = None) -> int:
             print(f"saved weights to {args.save}")
         return 0
 
+    if args.command == "regress":
+        result = run_regression(
+            args.method,
+            args.dataset,
+            seed=args.seed,
+            num_graphs=args.num_graphs,
+            epochs=args.epochs,
+            hidden=args.hidden,
+            lr=args.lr,
+            conv=args.conv,
+            callbacks=_callbacks(args),
+            **_train_kwargs(args),
+        )
+        print(
+            f"{args.method} on {args.dataset}: test RMSE {result.rmse:.4f}, "
+            f"MAE {result.mae:.4f} "
+            f"(mean-predictor baseline RMSE {result.baseline_rmse:.4f})"
+        )
+        if args.save:
+            save_module(
+                result.model,
+                args.save,
+                metadata={"method": args.method, "dataset": args.dataset},
+            )
+            print(f"saved weights to {args.save}")
+        return 0
+
     if args.command == "match":
         accuracy = run_matching(
             args.method,
@@ -317,11 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "crossval":
-        from repro.evaluation import cross_validate_classification
+        from repro.evaluation import (
+            cross_validate_classification,
+            cross_validate_regression,
+        )
 
-        result = cross_validate_classification(
-            args.method,
-            args.dataset,
+        common = dict(
             folds=args.folds,
             seed=args.seed,
             num_graphs=args.num_graphs,
@@ -331,9 +383,21 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=args.workers if args.workers > 0 else None,
             cache_dir=args.cache_dir,
             run_log_dir=args.run_log_dir,
-            shard_dir=args.shard_dir,
-            shard_size=args.shard_size,
         )
+        if dataset_task(args.dataset) == "regression":
+            if args.shard_dir:
+                raise SystemExit(
+                    "regression cross-validation does not support --shard-dir"
+                )
+            result = cross_validate_regression(args.method, args.dataset, **common)
+        else:
+            result = cross_validate_classification(
+                args.method,
+                args.dataset,
+                shard_dir=args.shard_dir,
+                shard_size=args.shard_size,
+                **common,
+            )
         print(result)
         run = result.pool_run
         if run.n_workers > 1:

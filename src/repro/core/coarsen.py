@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.gcont import GCont
 from repro.core.moa import MOA
-from repro.nn.module import Module, warn_deprecated
+from repro.nn.module import Module, Parameter, warn_deprecated
 from repro.observe.tracing import span
 from repro.tensor import (
     CSRMatrix,
@@ -80,10 +80,12 @@ class GraphCoarsening(Module):
         soft_sampling: bool = True,
         relaxation: str = "project",
         num_heads: int = 1,
+        edge_features: int = 0,
     ):
         super().__init__()
         self.in_features = in_features
         self.num_clusters = num_clusters
+        self.edge_features = edge_features
         self.tau = tau
         self.soft_sampling = soft_sampling
         self.rng = rng
@@ -91,6 +93,14 @@ class GraphCoarsening(Module):
         self.moa = MOA(
             num_clusters, rng, relaxation=relaxation, num_heads=num_heads
         )
+        if edge_features > 0:
+            from repro.nn.init import glorot_uniform
+
+            self.edge_proj = Parameter(
+                glorot_uniform(rng, edge_features, in_features), name="edge_proj"
+            )
+        else:
+            self.edge_proj = None
 
     def attention(self, h: Tensor, mask=None) -> Tensor:
         """The normalised MOA assignment M for node features ``h``.
@@ -100,8 +110,30 @@ class GraphCoarsening(Module):
         """
         return self.moa(self.gcont(h), mask)
 
+    def _edge_conditioned(self, adjacency, h: Tensor, edge_attr) -> Tensor:
+        """Features fed to the MOA attention, conditioned on edge types.
+
+        With edge attributes present, each node's incident-edge attribute
+        sum is projected into feature space and added to ``h`` before
+        GCont, so the MOA assignment (Eq. 14-15) — and hence which
+        substructures merge — can depend on bond types
+        (docs/molecular.md).  Eq. 17's cluster features keep using the
+        raw ``h``.
+        """
+        if edge_attr is None:
+            return h
+        if self.edge_proj is None:
+            raise ValueError(
+                "GraphCoarsening got edge_attr but was built with "
+                "edge_features=0"
+            )
+        from repro.gnn.edges import incident_edge_sums
+
+        summary = incident_edge_sums(adjacency, edge_attr)
+        return h + as_tensor(summary) @ self.edge_proj
+
     def coarsen(
-        self, adjacency, h: Tensor, mask=None
+        self, adjacency, h: Tensor, mask=None, edge_attr=None
     ) -> tuple[Tensor, Tensor, Tensor]:
         """Coarsen ``(A, H)`` to ``(A', H')``; also returns M.
 
@@ -116,8 +148,10 @@ class GraphCoarsening(Module):
         h = as_tensor(h)
         with span("coarsen"):
             if h.ndim == 3:
-                return self._coarsen_padded(adjacency, h, mask)
-            assignment = self.attention(h)  # (N, N')
+                return self._coarsen_padded(adjacency, h, mask, edge_attr)
+            assignment = self.attention(
+                self._edge_conditioned(adjacency, h, edge_attr)
+            )  # (N, N')
             h_coarse = matmul_tn(assignment, h)  # Eq. 17
             # Eq. 18 as the fused chain M^T (A M): the A M product runs
             # first so the wide (N', N) intermediate is never formed;
@@ -131,7 +165,7 @@ class GraphCoarsening(Module):
                 adj_coarse = gumbel_soft_sample(adj_coarse, self.tau, noise_rng)
             return adj_coarse, h_coarse, assignment
 
-    def forward(self, adjacency, h: Tensor, mask=None):
+    def forward(self, adjacency, h: Tensor, mask=None, edge_attr=None):
         """Coarsen one level.
 
         Single graph: ``(A, H) -> (A', H')``.  Padded batch:
@@ -140,17 +174,17 @@ class GraphCoarsening(Module):
         """
         h = as_tensor(h)
         if h.ndim == 3:
-            adj_coarse, h_coarse, _ = self.coarsen(adjacency, h, mask)
+            adj_coarse, h_coarse, _ = self.coarsen(adjacency, h, mask, edge_attr)
             new_mask = np.ones(h_coarse.shape[:2])
             return adj_coarse, h_coarse, new_mask
-        adj_coarse, h_coarse, _ = self.coarsen(adjacency, h)
+        adj_coarse, h_coarse, _ = self.coarsen(adjacency, h, edge_attr=edge_attr)
         return adj_coarse, h_coarse
 
     # ------------------------------------------------------------------
     # Padded execution path (docs/batching.md)
     # ------------------------------------------------------------------
     def _coarsen_padded(
-        self, adjacency, h: Tensor, mask
+        self, adjacency, h: Tensor, mask, edge_attr=None
     ) -> tuple[Tensor, Tensor, Tensor]:
         """Batched Algorithm 1 on a padded batch; returns ``(A', H', M)``.
 
@@ -161,7 +195,9 @@ class GraphCoarsening(Module):
         """
         if mask is None:
             mask = np.ones(h.shape[:2], dtype=np.float64)
-        assignment = self.attention(h, mask)  # (B, N, N')
+        assignment = self.attention(
+            self._edge_conditioned(adjacency, h, edge_attr), mask
+        )  # (B, N, N')
         h_coarse = matmul_tn(assignment, h)  # Eq. 17
         adj_coarse = coarsen_chain(assignment, adjacency)  # Eq. 18
         if self.soft_sampling:

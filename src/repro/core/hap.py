@@ -29,14 +29,17 @@ class HAPPooling(Coarsening):
     def __init__(self, coarsening: GraphCoarsening):
         super().__init__()
         self.coarsening = coarsening
+        self.supports_edge_attr = coarsening.edge_features > 0
 
-    def coarsen(self, adjacency, h: Tensor) -> tuple[Tensor, Tensor]:
-        adj_coarse, h_coarse, _ = self.coarsening.coarsen(adjacency, h)
+    def coarsen(self, adjacency, h: Tensor, edge_attr=None) -> tuple[Tensor, Tensor]:
+        adj_coarse, h_coarse, _ = self.coarsening.coarsen(
+            adjacency, h, edge_attr=edge_attr
+        )
         return adj_coarse, h_coarse
 
-    def coarsen_padded(self, adjacency, h: Tensor, mask):
+    def coarsen_padded(self, adjacency, h: Tensor, mask, edge_attr=None):
         """Padded-batch coarsening; returns ``(A', H', mask')``."""
-        return self.coarsening(adjacency, h, mask)
+        return self.coarsening(adjacency, h, mask, edge_attr=edge_attr)
 
     def coarsen_batched(self, adjacency, h: Tensor, mask):
         """Deprecated alias — call the operator with 3-D input instead."""
@@ -71,7 +74,9 @@ class HierarchicalEmbedder(Module):
             setattr(self, f"coarsening{i}", coarse)
         self.out_features = encoders[-1].out_features
 
-    def embed_levels(self, adjacency, h: Tensor | None = None, mask=None) -> list[Tensor]:
+    def embed_levels(
+        self, adjacency, h: Tensor | None = None, mask=None, edge_attr=None
+    ) -> list[Tensor]:
         """Graph-level representation after every coarsening level.
 
         Dispatches on input type:
@@ -86,10 +91,16 @@ class HierarchicalEmbedder(Module):
           matching the per-graph path exactly.  Only coarsening
           operators with ``supports_padded`` (HAP's) run here; the
           Table-5 baseline poolings stay loop-only.
+
+        ``edge_attr`` (per-edge attributes in the layout matching the
+        adjacency, docs/molecular.md) conditions level 0 only — the
+        coarsened levels are soft cluster graphs with no bond identity.
         """
         if isinstance(adjacency, PaddedBatch):
             batch = adjacency
             adjacency, h, mask = batch.adjacency, Tensor(batch.features), batch.mask
+            if edge_attr is None:
+                edge_attr = batch.edge_features
         if not isinstance(adjacency, CSRMatrix):
             # A level-0 CSR adjacency stays sparse (docs/sparse.md); the
             # coarsened levels it produces are small dense Tensors, so
@@ -102,20 +113,35 @@ class HierarchicalEmbedder(Module):
                 mask = np.ones(h.shape[:2], dtype=np.float64)
             mask = np.asarray(mask, dtype=np.float64)
             for encoder, coarsening in zip(self.encoders, self.coarsenings):
-                h = encoder(adjacency, h, mask)
-                adjacency, h, mask = coarsening(adjacency, h, mask)
+                h = encoder(adjacency, h, mask, edge_attr=edge_attr)
+                adjacency, h, mask = self._coarsen(
+                    coarsening, adjacency, h, mask, edge_attr
+                )
+                edge_attr = None  # coarsened levels carry no edge identity
                 levels.append(masked_mean(h, mask[:, :, None], axis=1))
             return levels
         for encoder, coarsening in zip(self.encoders, self.coarsenings):
-            h = encoder(adjacency, h)
-            adjacency, h = coarsening(adjacency, h)
+            h = encoder(adjacency, h, edge_attr=edge_attr)
+            adjacency, h = self._coarsen(coarsening, adjacency, h, None, edge_attr)
+            edge_attr = None
             levels.append(h.mean(axis=0))
         return levels
 
-    def forward(self, adjacency, h: Tensor | None = None, mask=None) -> Tensor:
+    @staticmethod
+    def _coarsen(coarsening, adjacency, h, mask, edge_attr):
+        """One coarsening call, forwarding ``edge_attr`` only when set so
+        baseline poolings without the kwarg keep their signatures."""
+        args = (adjacency, h) if mask is None else (adjacency, h, mask)
+        if edge_attr is not None:
+            return coarsening(*args, edge_attr=edge_attr)
+        return coarsening(*args)
+
+    def forward(
+        self, adjacency, h: Tensor | None = None, mask=None, edge_attr=None
+    ) -> Tensor:
         """Final graph-level embedding: ``(F,)`` for a single graph,
         ``(B, F)`` for a padded batch."""
-        return self.embed_levels(adjacency, h, mask)[-1]
+        return self.embed_levels(adjacency, h, mask, edge_attr=edge_attr)[-1]
 
     def embed(self, graph, backend: str = "dense"):
         """Uniform single-graph embedding contract (docs/serving.md).
@@ -168,22 +194,29 @@ def build_hap_embedder(
     soft_sampling: bool = True,
     relaxation: str = "project",
     num_heads: int = 1,
+    edge_features: int = 0,
 ) -> HierarchicalEmbedder:
     """Construct the paper's default HAP architecture.
 
     ``cluster_sizes`` gives the target size N' of each coarsening module
     (the paper uses two modules; sizes are per-dataset).  The first
     encoder maps ``in_features -> hidden``; later levels stay at
-    ``hidden``.
+    ``hidden``.  ``edge_features > 0`` makes the level-0 encoder and
+    coarsening condition on per-edge attributes (docs/molecular.md);
+    coarsened levels have no edges to attribute, so deeper modules are
+    built unconditioned.
     """
     if not cluster_sizes:
         raise ValueError("need at least one coarsening module")
     encoders: list[GNNEncoder] = []
     coarsenings: list[Module] = []
     feat = in_features
-    for n_prime in cluster_sizes:
+    for level, n_prime in enumerate(cluster_sizes):
+        level_edge_features = edge_features if level == 0 else 0
         sizes = [feat] + [hidden] * layers_per_level
-        encoders.append(GNNEncoder(sizes, rng, conv=conv))
+        encoders.append(
+            GNNEncoder(sizes, rng, conv=conv, edge_features=level_edge_features)
+        )
         coarsenings.append(
             HAPPooling(
                 GraphCoarsening(
@@ -194,6 +227,7 @@ def build_hap_embedder(
                     soft_sampling=soft_sampling,
                     relaxation=relaxation,
                     num_heads=num_heads,
+                    edge_features=level_edge_features,
                 )
             )
         )

@@ -10,8 +10,10 @@ from repro.data.encoding import attach_degree_features, attach_label_features, a
 from repro.data.datasets import (
     DATASET_BUILDERS,
     dataset_statistics,
+    dataset_task,
     make_aids_like,
     make_collab_like,
+    make_esol_like,
     make_imdb_b_like,
     make_imdb_m_like,
     make_linux_like,
@@ -36,7 +38,12 @@ from repro.data.sharding import (
 from repro.data.streaming import StreamingDataset, StreamingView
 from repro.data.perturb import add_edges, drop_edges, drop_nodes, noise_features
 from repro.data.triplets import GraphTriplet, TripletGenerator
-from repro.data.splits import stratified_k_fold, train_val_test_split
+from repro.data.splits import (
+    k_fold,
+    scaffold_split,
+    stratified_k_fold,
+    train_val_test_split,
+)
 
 __all__ = [
     "attach_degree_features",
@@ -44,8 +51,10 @@ __all__ = [
     "attach_constant_features",
     "DATASET_BUILDERS",
     "dataset_statistics",
+    "dataset_task",
     "make_aids_like",
     "make_collab_like",
+    "make_esol_like",
     "make_imdb_b_like",
     "make_imdb_m_like",
     "make_linux_like",
@@ -80,6 +89,8 @@ __all__ = [
     "StreamingView",
     "GraphTriplet",
     "TripletGenerator",
+    "k_fold",
+    "scaffold_split",
     "stratified_k_fold",
     "train_val_test_split",
 ]

@@ -41,8 +41,14 @@ class PaddedBatch:
     num_nodes:
         ``(B,)`` int array of true node counts.
     labels:
-        ``(B,)`` int array of graph labels, or ``None`` when any graph
-        in the batch is unlabelled.
+        ``(B,)`` array of graph labels — ``int64`` class indices when
+        every label is integral, ``float64`` regression targets
+        otherwise — or ``None`` when any graph in the batch is
+        unlabelled.
+    edge_features:
+        ``(B, N_max, N_max, Fe)`` float array of per-edge attributes
+        (zero off-edges and on padding, docs/molecular.md), or ``None``
+        when the graphs carry no edge features.
     """
 
     features: np.ndarray
@@ -50,6 +56,7 @@ class PaddedBatch:
     mask: np.ndarray
     num_nodes: np.ndarray
     labels: np.ndarray | None = None
+    edge_features: np.ndarray | None = None
 
     @property
     def batch_size(self) -> int:
@@ -98,25 +105,49 @@ def pad_graphs(graphs: Sequence[Graph], pad_to: int | None = None) -> PaddedBatc
             )
         n_max = int(pad_to)
 
+    edge_dims = {g.num_edge_features for g in graphs if g.edge_features is not None}
+    if len(edge_dims) > 1:
+        raise ValueError(
+            f"inconsistent edge-feature dimensions in batch: {sorted(edge_dims)}"
+        )
+    if edge_dims and any(g.edge_features is None for g in graphs):
+        raise ValueError(
+            "cannot mix edge-featured and plain graphs in one padded batch"
+        )
+
     batch = len(graphs)
     features = np.zeros((batch, n_max, feat_dim), dtype=np.float64)
     adjacency = np.zeros((batch, n_max, n_max), dtype=np.float64)
     mask = np.zeros((batch, n_max), dtype=np.float64)
+    edge_features = None
+    if edge_dims:
+        edge_features = np.zeros(
+            (batch, n_max, n_max, edge_dims.pop()), dtype=np.float64
+        )
     for b, g in enumerate(graphs):
         n = g.num_nodes
         features[b, :n] = g.features
         adjacency[b, :n, :n] = g.adjacency
         mask[b, :n] = 1.0
+        if edge_features is not None:
+            edge_features[b, :n, :n] = g.edge_features
 
     labels = None
     if all(g.label is not None for g in graphs):
-        labels = np.array([int(g.label) for g in graphs], dtype=np.int64)
+        # Integral labels (the classification datasets) stay int64 so
+        # cross-entropy indexing keeps working; any float target makes
+        # the whole batch a float64 regression target vector.
+        if all(isinstance(g.label, (int, np.integer)) for g in graphs):
+            labels = np.array([int(g.label) for g in graphs], dtype=np.int64)
+        else:
+            labels = np.array([float(g.label) for g in graphs], dtype=np.float64)
     return PaddedBatch(
         features=features,
         adjacency=adjacency,
         mask=mask,
         num_nodes=sizes,
         labels=labels,
+        edge_features=edge_features,
     )
 
 

@@ -31,6 +31,8 @@ graphs (GED datasets).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.graph.generators import erdos_renyi, random_tree
@@ -39,6 +41,11 @@ from repro.graph.graph import Graph
 # Node label vocabulary for molecule-ish datasets.
 CARBON, NITROGEN, OXYGEN, OTHER = 0, 1, 2, 3
 NUM_ATOM_TYPES = 4
+
+# Bond-type vocabulary for edge-featured molecular datasets
+# (docs/molecular.md); edge features are the one-hot of the bond type.
+BOND_SINGLE, BOND_DOUBLE, BOND_AROMATIC = 0, 1, 2
+NUM_BOND_TYPES = 3
 
 #: Bump whenever any builder's output changes for a fixed (num_graphs,
 #: seed) — on-disk caches and shard directories record this version and
@@ -192,6 +199,98 @@ def make_linux_like(num_graphs: int, rng: np.random.Generator) -> list[Graph]:
     return graphs
 
 
+def _bond_one_hot(bond: int) -> np.ndarray:
+    vec = np.zeros(NUM_BOND_TYPES, dtype=np.float64)
+    vec[bond] = 1.0
+    return vec
+
+
+def make_esol_like(num_graphs: int, rng: np.random.Generator) -> list[Graph]:
+    """Solubility-style molecular *regression* set with bond-type edges.
+
+    Each molecule is assembled from the standard motifs — aromatic
+    carbon rings, an aliphatic backbone chain with occasional double
+    bonds, and pendant hydroxyl groups — and every bond carries a
+    one-hot bond-type edge feature (single / double / aromatic).  The
+    float target is a planted QSAR-like solubility score
+
+        y = 0.9·#OH − 0.7·#rings + 0.4·#double − 0.15·chain + ε
+
+    (ε ~ N(0, 0.1²)): polar hydroxyls raise it, hydrophobic aromatic
+    rings lower it.  Ring and double-bond counts are only readable from
+    the *bond types* (atom labels alone leave rings ambiguous with
+    cycles closed by single bonds), so models that condition on edge
+    features have signal topology-only models lack (docs/molecular.md).
+
+    Every graph records its Bemis-Murcko-style scaffold key in
+    ``meta["scaffold"]`` (ring count × backbone chain length) for the
+    deterministic scaffold splits in :func:`repro.data.splits.scaffold_split`.
+    """
+    graphs = []
+    for _ in range(num_graphs):
+        edges: list[tuple[int, int]] = []
+        labels: list[int] = []
+        bonds: dict[tuple[int, int], np.ndarray] = {}
+
+        def add_edge(i: int, j: int, bond: int) -> None:
+            edges.append((i, j))
+            bonds[(i, j)] = _bond_one_hot(bond)
+
+        num_rings = int(rng.integers(0, 3))
+        ring_anchors = []
+        for _ in range(num_rings):
+            start = len(labels)
+            labels.extend([CARBON] * 6)
+            for k in range(6):
+                add_edge(start + k, start + (k + 1) % 6, BOND_AROMATIC)
+            ring_anchors.append(start)
+        for a, b in zip(ring_anchors, ring_anchors[1:]):
+            add_edge(a, b, BOND_SINGLE)  # biphenyl-style ring link
+
+        if not labels:
+            labels.append(CARBON)
+        chain_len = int(rng.integers(1, 7))
+        num_double = 0
+        prev = int(rng.integers(0, len(labels)))
+        for _ in range(chain_len):
+            idx = len(labels)
+            labels.append(CARBON)
+            bond = BOND_DOUBLE if rng.random() < 0.3 else BOND_SINGLE
+            num_double += int(bond == BOND_DOUBLE)
+            add_edge(prev, idx, bond)
+            prev = idx
+
+        num_hydroxyl = int(rng.integers(0, 4))
+        for _ in range(num_hydroxyl):
+            anchor = int(rng.integers(0, len(labels)))
+            idx = len(labels)
+            labels.append(OXYGEN)
+            add_edge(anchor, idx, BOND_SINGLE)
+
+        target = (
+            0.9 * num_hydroxyl
+            - 0.7 * num_rings
+            + 0.4 * num_double
+            - 0.15 * chain_len
+            + float(rng.normal(0.0, 0.1))
+        )
+        graph = Graph.from_edges(
+            len(labels),
+            edges,
+            node_labels=labels,
+            edge_features=bonds,
+            num_edge_features=NUM_BOND_TYPES,
+        )
+        graphs.append(
+            replace(
+                graph,
+                label=float(target),
+                meta={"scaffold": f"r{num_rings}c{chain_len}"},
+            )
+        )
+    return graphs
+
+
 # ---------------------------------------------------------------------------
 # Social-network datasets
 # ---------------------------------------------------------------------------
@@ -318,7 +417,10 @@ def make_proteins_like(num_graphs: int, rng: np.random.Generator) -> list[Graph]
 # Registry and statistics
 # ---------------------------------------------------------------------------
 
-#: name -> (builder, feature encoding, num classes or None for GED sets)
+#: name -> (builder, feature encoding, num classes).  The class slot is a
+#: three-way signal: ``None`` marks the unlabelled GED/similarity sets,
+#: ``0`` marks float-target regression sets (docs/molecular.md), and
+#: ``>= 2`` is an ordinary classification class count.
 DATASET_BUILDERS = {
     "IMDB-B": (make_imdb_b_like, "degree", 2),
     "IMDB-M": (make_imdb_m_like, "degree", 3),
@@ -326,19 +428,39 @@ DATASET_BUILDERS = {
     "MUTAG": (make_mutag_like, "label", 2),
     "PROTEINS": (make_proteins_like, "degree", 2),
     "PTC": (make_ptc_like, "label", 2),
+    "ESOL": (make_esol_like, "label", 0),
     "AIDS": (make_aids_like, "label", None),
     "LINUX": (make_linux_like, "constant", None),
 }
+
+
+def dataset_task(name: str) -> str:
+    """Task family of a registered dataset.
+
+    ``"classification"``, ``"regression"`` (float targets, class slot
+    ``0``) or ``"ged"`` (unlabelled similarity sets, class slot ``None``).
+    """
+    if name not in DATASET_BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}")
+    num_classes = DATASET_BUILDERS[name][2]
+    if num_classes is None:
+        return "ged"
+    if num_classes == 0:
+        return "regression"
+    return "classification"
 
 
 def dataset_statistics(name: str, graphs: list[Graph]) -> dict:
     """Row of Table 2: counts, size statistics and class count."""
     sizes = [g.num_nodes for g in graphs]
     labels = {g.label for g in graphs if g.label is not None}
+    discrete = all(isinstance(label, (int, np.integer)) for label in labels)
     return {
         "dataset": name,
         "num_graphs": len(graphs),
         "max_nodes": int(max(sizes)) if sizes else 0,
         "avg_nodes": float(np.mean(sizes)) if sizes else 0.0,
-        "num_classes": len(labels) if labels else None,
+        # Regression targets are continuous: counting distinct floats
+        # would report |dataset| "classes", so those sets report None.
+        "num_classes": len(labels) if labels and discrete else None,
     }

@@ -44,6 +44,12 @@ def save_graphs(
         if graph.features is not None:
             arrays[f"features_{i}"] = graph.features
             record["has_features"] = True
+        if graph.edge_features is not None:
+            arrays[f"edge_features_{i}"] = graph.edge_features
+            record["has_edge_features"] = True
+        if graph.meta:
+            # JSON-serialisable by contract (scaffold keys and the like).
+            record["meta"] = graph.meta
         records.append(record)
     header = {
         "format_version": FORMAT_VERSION,
@@ -97,6 +103,12 @@ def load_graphs(path: str | Path) -> tuple[list[Graph], str]:
                         else None
                     ),
                     label=record["label"],
+                    meta=record.get("meta", {}),
+                    edge_features=(
+                        archive[f"edge_features_{i}"]
+                        if record.get("has_edge_features")
+                        else None
+                    ),
                 )
             )
     return graphs, header.get("name", "")

@@ -2,7 +2,10 @@
 
 The paper partitions every dataset 8:1:1 into train/validation/test
 (Sec. 6.1.3); :func:`train_val_test_split` reproduces that with a
-seeded shuffle.
+seeded shuffle.  Molecular regression sets use
+:func:`scaffold_split` instead — whole scaffold groups land in one
+split, so the test set measures generalisation to unseen chemotypes
+(docs/molecular.md).
 """
 
 from __future__ import annotations
@@ -12,6 +15,55 @@ from typing import Sequence, TypeVar
 import numpy as np
 
 T = TypeVar("T")
+
+
+def scaffold_split(
+    graphs: Sequence[T],
+    ratios: tuple[float, float, float] = (0.8, 0.1, 0.1),
+) -> tuple[list[T], list[T], list[T]]:
+    """Deterministic scaffold-grouped train/val/test split.
+
+    Every graph must carry a scaffold key in ``meta["scaffold"]`` (the
+    molecular builders record one).  Graphs sharing a scaffold are kept
+    in the same split: groups are sorted largest-first (ties broken by
+    scaffold key, so the split is a pure function of the dataset — no
+    RNG) and greedily assigned to train until it is full, then val,
+    then test.  Largest-first assignment pushes the rare scaffolds into
+    val/test, the standard "hard" variant of the split.
+    """
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    groups: dict[str, list[T]] = {}
+    for i, g in enumerate(graphs):
+        meta = getattr(g, "meta", None) or {}
+        if "scaffold" not in meta:
+            raise ValueError(
+                f"graph {i} has no meta['scaffold']; scaffold_split needs "
+                "the molecular builders' scaffold keys"
+            )
+        groups.setdefault(str(meta["scaffold"]), []).append(g)
+    ordered = sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+    if len(ordered) < 3:
+        raise ValueError(
+            f"need at least 3 scaffold groups to split, got {len(ordered)}"
+        )
+    n = len(graphs)
+    n_train = int(round(ratios[0] * n))
+    n_val = int(round(ratios[1] * n))
+    train: list[T] = []
+    val: list[T] = []
+    test: list[T] = []
+    for position, (_, members) in enumerate(ordered):
+        remaining = len(ordered) - position
+        # Never let train/val swallow the last groups: val and test are
+        # each guaranteed at least one whole scaffold group.
+        if len(train) < n_train and remaining > 2:
+            train.extend(members)
+        elif len(val) < n_val and remaining > 1:
+            val.extend(members)
+        else:
+            test.extend(members)
+    return train, val, test
 
 
 def stratified_k_fold(
@@ -41,6 +93,29 @@ def stratified_k_fold(
         train_idx = np.flatnonzero(fold_of != fold)
         folds.append((train_idx, test_idx))
     return folds
+
+
+def k_fold(
+    num_items: int,
+    k: int,
+    rng: np.random.Generator,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Plain (unstratified) k-fold indices over ``num_items`` items.
+
+    The regression counterpart of :func:`stratified_k_fold` — continuous
+    targets have no classes to stratify on, so folds are a seeded
+    round-robin over a shuffled order.
+    """
+    if k < 2:
+        raise ValueError("need at least two folds")
+    if num_items < k:
+        raise ValueError(f"cannot make {k} folds from {num_items} items")
+    fold_of = np.zeros(num_items, dtype=np.intp)
+    fold_of[rng.permutation(num_items)] = np.arange(num_items) % k
+    return [
+        (np.flatnonzero(fold_of != fold), np.flatnonzero(fold_of == fold))
+        for fold in range(k)
+    ]
 
 
 def train_val_test_split(

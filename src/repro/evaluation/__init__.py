@@ -5,17 +5,21 @@ from repro.evaluation.separability import silhouette_score
 from repro.evaluation.crossval import (
     CVResult,
     FoldTask,
+    RegressionCVResult,
     cross_validate_classification,
+    cross_validate_regression,
     make_fold_tasks,
 )
 from repro.evaluation.learning_curves import LearningCurve, learning_curve
 from repro.evaluation.reports import load_rows, save_rows, to_markdown
 from repro.evaluation.harness import (
     ClassificationResult,
+    RegressionResult,
     format_table,
     run_classification,
     run_experiment_grid,
     run_matching,
+    run_regression,
     run_similarity,
     run_tsne_study,
 )
@@ -25,18 +29,22 @@ __all__ = [
     "silhouette_score",
     "CVResult",
     "FoldTask",
+    "RegressionCVResult",
     "LearningCurve",
     "learning_curve",
     "cross_validate_classification",
+    "cross_validate_regression",
     "make_fold_tasks",
     "run_experiment_grid",
     "load_rows",
     "save_rows",
     "to_markdown",
     "ClassificationResult",
+    "RegressionResult",
     "format_table",
     "run_classification",
     "run_matching",
+    "run_regression",
     "run_similarity",
     "run_tsne_study",
 ]

@@ -25,7 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.cache import load_dataset_cached
-from repro.data.splits import stratified_k_fold
+from repro.data.splits import k_fold, stratified_k_fold
 from repro.models import zoo
 from repro.parallel import (
     PoolRun,
@@ -35,7 +35,11 @@ from repro.parallel import (
     task_log_path,
     write_merged_log,
 )
-from repro.training.metrics import classification_accuracy
+from repro.training.metrics import (
+    classification_accuracy,
+    regression_mae,
+    regression_rmse,
+)
 from repro.training.trainer import TrainConfig, fit
 
 #: stream tags mixed into the user seed so dataset generation, fold
@@ -69,6 +73,41 @@ class CVResult:
 
 
 @dataclass
+class RegressionCVResult:
+    """Per-fold RMSE/MAE of a regression cross-validation (lower is
+    better on both)."""
+
+    method: str
+    dataset: str
+    fold_rmse: list[float]
+    fold_mae: list[float]
+
+    @property
+    def mean_rmse(self) -> float:
+        return float(np.mean(self.fold_rmse))
+
+    @property
+    def std_rmse(self) -> float:
+        return float(np.std(self.fold_rmse))
+
+    @property
+    def mean_mae(self) -> float:
+        return float(np.mean(self.fold_mae))
+
+    @property
+    def std_mae(self) -> float:
+        return float(np.std(self.fold_mae))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method} on {self.dataset}: "
+            f"RMSE {self.mean_rmse:.4f} +/- {self.std_rmse:.4f}, "
+            f"MAE {self.mean_mae:.4f} +/- {self.std_mae:.4f} over "
+            f"{len(self.fold_rmse)} folds"
+        )
+
+
+@dataclass
 class FoldTask:
     """Self-contained description of one cross-validation fold.
 
@@ -96,6 +135,9 @@ class FoldTask:
     #: None keeps the in-memory ``load_dataset_cached`` path
     shard_dir: str | None = None
     model_kwargs: dict = field(default_factory=dict)
+    #: ``"classification"`` (accuracy, stratified folds) or
+    #: ``"regression"`` (RMSE/MAE, plain folds — docs/molecular.md)
+    task_type: str = "classification"
 
 
 def _fold_examples(task: FoldTask):
@@ -126,15 +168,33 @@ def _fold_examples(task: FoldTask):
     )
 
 
-def run_fold_task(task: FoldTask) -> float:
-    """Train and score one fold (module-level: spawn-safe pool target)."""
+def run_fold_task(task: FoldTask):
+    """Train and score one fold (module-level: spawn-safe pool target).
+
+    Returns the fold accuracy for classification tasks, or an
+    ``(rmse, mae)`` pair for regression tasks.
+    """
     train, test, dim, num_classes = _fold_examples(task)
     fold_rng = np.random.default_rng(task.seed_seq)
-    model = zoo.make_classifier(
-        task.method, dim, num_classes, fold_rng,
-        hidden=task.hidden, cluster_sizes=task.cluster_sizes,
-        **task.model_kwargs,
-    )
+    model_kwargs = dict(task.model_kwargs)
+    if task.task_type == "regression":
+        # Plain GCN cannot condition on bond types; default to GIN and
+        # size the edge gate from the fold's own graphs.
+        model_kwargs.setdefault("conv", "gin")
+        model_kwargs.setdefault(
+            "edge_features", max((g.num_edge_features for g in train), default=0)
+        )
+        model = zoo.make_classifier(
+            task.method, dim, 0, fold_rng,
+            hidden=task.hidden, cluster_sizes=task.cluster_sizes,
+            task="regression", **model_kwargs,
+        )
+    else:
+        model = zoo.make_classifier(
+            task.method, dim, num_classes, fold_rng,
+            hidden=task.hidden, cluster_sizes=task.cluster_sizes,
+            **model_kwargs,
+        )
     callbacks = None
     if task.run_log is not None:
         from repro.observe import JSONLLogger
@@ -147,6 +207,8 @@ def run_fold_task(task: FoldTask) -> float:
             TrainConfig(epochs=task.epochs, lr=task.lr, data=data_mode),
             callbacks=callbacks,
         )
+        if task.task_type == "regression":
+            return regression_rmse(model, test), regression_mae(model, test)
         return classification_accuracy(model, test)
     finally:
         if task.shard_dir is not None:
@@ -197,10 +259,20 @@ def make_fold_tasks(
                 f"{dataset} is a GED dataset, not a classification one"
             )
         labels = [g.label for g in graphs]
+    task_type = "regression" if num_classes == 0 else "classification"
+    if task_type == "regression" and shard_dir is not None:
+        raise ValueError(
+            "regression cross-validation does not support shard_dir yet; "
+            "use the in-memory dataset cache"
+        )
     split_rng = np.random.default_rng(
         np.random.SeedSequence([int(seed), _SPLIT_STREAM])
     )
-    splits = stratified_k_fold(labels, folds, split_rng)
+    if task_type == "regression":
+        # Continuous targets have no classes to stratify on.
+        splits = k_fold(len(labels), folds, split_rng)
+    else:
+        splits = stratified_k_fold(labels, folds, split_rng)
     fold_seeds = spawn_task_seeds(seed, folds, stream=_FOLD_STREAM)
     return [
         FoldTask(
@@ -223,6 +295,7 @@ def make_fold_tasks(
             ),
             shard_dir=str(shard_dir) if shard_dir is not None else None,
             model_kwargs=model_kwargs,
+            task_type=task_type,
         )
         for fold, (train_idx, test_idx) in enumerate(splits)
     ]
@@ -264,6 +337,18 @@ def cross_validate_classification(
         cache_dir=cache_dir, run_log_dir=run_log_dir,
         shard_dir=shard_dir, shard_size=shard_size, **model_kwargs,
     )
+    if tasks and tasks[0].task_type == "regression":
+        raise ValueError(
+            f"{dataset} is a regression dataset; use "
+            "cross_validate_regression"
+        )
+    run = _run_fold_pool(tasks, n_workers, run_log_dir)
+    result = CVResult(method, dataset, [float(acc) for acc in run.results])
+    result.pool_run = run
+    return result
+
+
+def _run_fold_pool(tasks, n_workers, run_log_dir) -> PoolRun:
     if run_log_dir is not None:
         Path(run_log_dir).mkdir(parents=True, exist_ok=True)
     with WorkerPool(n_workers) as pool:
@@ -271,6 +356,49 @@ def cross_validate_classification(
     if run_log_dir is not None:
         merged = merge_worker_logs(run_log_dir)
         write_merged_log(merged, Path(run_log_dir) / "merged.jsonl")
-    result = CVResult(method, dataset, [float(acc) for acc in run.results])
+    return run
+
+
+def cross_validate_regression(
+    method: str,
+    dataset: str,
+    folds: int = 5,
+    seed: int = 0,
+    num_graphs: int = 120,
+    epochs: int = 25,
+    hidden: int = 16,
+    lr: float = 0.01,
+    cluster_sizes: tuple[int, ...] = (6, 1),
+    n_workers: int = 1,
+    cache_dir: str | Path | None = None,
+    run_log_dir: str | Path | None = None,
+    **model_kwargs,
+) -> RegressionCVResult:
+    """K-fold cross-validated RMSE/MAE for one regression method.
+
+    The molecular counterpart of :func:`cross_validate_classification`
+    (docs/molecular.md): folds are plain (continuous targets cannot be
+    stratified), each fold trains the single-output MSE head with
+    bond-type edge conditioning, and the result reports per-fold RMSE
+    and MAE.  Parallel fold execution keeps the same bitwise-determinism
+    guarantee as the classification path.
+    """
+    tasks = make_fold_tasks(
+        method, dataset, folds=folds, seed=seed, num_graphs=num_graphs,
+        epochs=epochs, hidden=hidden, lr=lr, cluster_sizes=cluster_sizes,
+        cache_dir=cache_dir, run_log_dir=run_log_dir, **model_kwargs,
+    )
+    if tasks and tasks[0].task_type != "regression":
+        raise ValueError(
+            f"{dataset} is not a regression dataset; use "
+            "cross_validate_classification"
+        )
+    run = _run_fold_pool(tasks, n_workers, run_log_dir)
+    result = RegressionCVResult(
+        method,
+        dataset,
+        fold_rmse=[float(rmse) for rmse, _ in run.results],
+        fold_mae=[float(mae) for _, mae in run.results],
+    )
     result.pool_run = run
     return result

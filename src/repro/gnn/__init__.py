@@ -13,10 +13,12 @@ from repro.gnn.layers import (
     normalize_adjacency,
     normalize_adjacency_batched,
 )
+from repro.gnn.edges import EdgeGate
 from repro.gnn.extra_layers import GINLayer, SAGELayer
 from repro.gnn.encoder import GNNEncoder
 
 __all__ = [
+    "EdgeGate",
     "GCNLayer",
     "GATLayer",
     "GINLayer",

@@ -26,6 +26,11 @@ class GNNEncoder(Module):
         created per consecutive pair.
     conv:
         ``'gcn'``, ``'gat'``, ``'gin'`` or ``'sage'``.
+    edge_features:
+        Width Fe of per-edge attribute vectors; ``> 0`` makes every
+        layer condition on the ``edge_attr`` forward operand
+        (docs/molecular.md).  GCN has no edge-attribute slot and
+        rejects it at construction.
     """
 
     def __init__(
@@ -34,6 +39,7 @@ class GNNEncoder(Module):
         rng: np.random.Generator,
         conv: str = "gcn",
         activation: str = "leaky_relu",
+        edge_features: int = 0,
     ):
         super().__init__()
         if len(sizes) < 2:
@@ -46,10 +52,17 @@ class GNNEncoder(Module):
         }
         if conv not in layer_classes:
             raise ValueError(f"unknown conv type {conv!r}")
+        if edge_features > 0 and conv == "gcn":
+            raise ValueError(
+                "conv='gcn' cannot condition on edge features; use 'gin', "
+                "'sage' or 'gat' (docs/molecular.md)"
+            )
         layer_cls = layer_classes[conv]
         self.conv = conv
+        self.edge_features = edge_features
+        extra = {"edge_features": edge_features} if edge_features > 0 else {}
         self.layers = [
-            layer_cls(sizes[i], sizes[i + 1], rng, activation=activation)
+            layer_cls(sizes[i], sizes[i + 1], rng, activation=activation, **extra)
             for i in range(len(sizes) - 1)
         ]
         for i, layer in enumerate(self.layers):
@@ -59,12 +72,14 @@ class GNNEncoder(Module):
     def out_features(self) -> int:
         return self.layers[-1].out_features
 
-    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+    def forward(self, adjacency, h: Tensor, mask=None, edge_attr=None) -> Tensor:
         """Run the stack; each layer dispatches on input rank, so a
-        padded ``(B, N, ·)`` batch works the same as a single graph."""
+        padded ``(B, N, ·)`` batch works the same as a single graph.
+        ``edge_attr`` reaches every layer — the stack shares one
+        adjacency, so each hop may condition on the same bond types."""
         with span("encoder"):
             for layer in self.layers:
-                h = layer(adjacency, h, mask)
+                h = layer(adjacency, h, mask, edge_attr=edge_attr)
         return h
 
     def forward_batched(self, adjacency, h: Tensor, mask=None) -> Tensor:

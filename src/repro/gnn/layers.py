@@ -93,6 +93,21 @@ def normalize_adjacency_batched(adjacency, eps: float = 1e-8) -> Tensor:
     return sym_normalize(adj, eps)
 
 
+def _self_loop_index_map(adj_tilde: CSRMatrix) -> np.ndarray:
+    """For each stored entry of ``Ã = A + I``, the index of its original
+    edge in ``A`` — or ``nnz(A)`` (one past the end) for the self-loops
+    ``Ã`` introduced.  Valid because ``with_self_loops`` preserves the
+    relative order of off-diagonal entries and graph adjacencies carry
+    no stored diagonal (zero-diagonal invariant of :class:`repro.graph.Graph`).
+    """
+    row, col = adj_tilde.row_ids, adj_tilde.indices
+    off_diag = row != col
+    num_edges = int(off_diag.sum())
+    index_map = np.full(adj_tilde.nnz, num_edges, dtype=np.intp)
+    index_map[off_diag] = np.arange(num_edges, dtype=np.intp)
+    return index_map
+
+
 def _activate(out, activation: str):
     """Apply a named activation (shared by GCN and GAT layers).
 
@@ -132,12 +147,20 @@ class GCNLayer(Module):
         self.bias = Parameter(zeros(out_features), name="bias")
         self.activation = activation
 
-    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+    def forward(self, adjacency, h: Tensor, mask=None, edge_attr=None) -> Tensor:
         """Dispatch on input rank: ``(N, F)`` runs the single-graph
         convolution, ``(B, N, F)`` the padded-batch one.  On the padded
         path, padding rows produce ``act(bias)`` garbage that never
         reaches valid rows (their normalised adjacency entries are
         zero); downstream masked reductions discard it."""
+        if edge_attr is not None:
+            # Symmetric normalisation has no slot for per-edge attributes;
+            # silently dropping them would be a modelling bug the lint rule
+            # no-dropped-edge-attr exists to catch (docs/molecular.md).
+            raise ValueError(
+                "GCNLayer cannot condition on edge_attr; use conv='gin', "
+                "'sage' or 'gat' for edge-featured graphs"
+            )
         h = as_tensor(h)
         if isinstance(adjacency, CSRMatrix):
             return self._forward_sparse(adjacency, h)
@@ -171,7 +194,10 @@ class GATLayer(Module):
 
     Attention logits ``e_ij = LeakyReLU(a^T [W h_i || W h_j])`` are
     masked to the one-hop neighbourhood (plus self-loops) and
-    softmax-normalised per row.
+    softmax-normalised per row.  With ``edge_features > 0`` the logits
+    gain an additive edge term ``a_e^T e_ij`` (edge-typed adjacency in
+    the attention, docs/molecular.md); self-loops contribute zero edge
+    bias, matching the zero diagonal of the dense attribute tensor.
     """
 
     def __init__(
@@ -181,10 +207,12 @@ class GATLayer(Module):
         rng: np.random.Generator,
         activation: str = "relu",
         negative_slope: float = 0.2,
+        edge_features: int = 0,
     ):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
+        self.edge_features = edge_features
         self.weight = Parameter(
             glorot_uniform(rng, in_features, out_features), name="weight"
         )
@@ -195,25 +223,47 @@ class GATLayer(Module):
         self.att_dst = Parameter(
             glorot_uniform(rng, out_features, 1, shape=(out_features,)), name="att_dst"
         )
+        if edge_features > 0:
+            self.att_edge = Parameter(
+                glorot_uniform(rng, edge_features, 1, shape=(edge_features,)),
+                name="att_edge",
+            )
+        else:
+            self.att_edge = None
         self.bias = Parameter(zeros(out_features), name="bias")
         self.activation = activation
         self.negative_slope = negative_slope
 
-    def forward(self, adjacency, h: Tensor, mask=None) -> Tensor:
+    def _edge_bias(self, adjacency, edge_attr):
+        """Additive logit term ``a_e^T e_ij`` (or ``None`` without edges)."""
+        if edge_attr is None:
+            return None
+        if self.att_edge is None:
+            raise ValueError(
+                "GATLayer got edge_attr but was built with edge_features=0"
+            )
+        from repro.gnn.edges import check_edge_attr
+
+        check_edge_attr(adjacency, edge_attr, self.edge_features)
+        return as_tensor(edge_attr) @ self.att_edge
+
+    def forward(self, adjacency, h: Tensor, mask=None, edge_attr=None) -> Tensor:
         """Dispatch on input rank: 2-D features run the single-graph
         attention, 3-D the padded-batch one."""
         h = as_tensor(h)
         if isinstance(adjacency, CSRMatrix):
-            return self._forward_sparse(adjacency, h)
+            return self._forward_sparse(adjacency, h, edge_attr)
         if h.ndim == 3:
-            return self._forward_padded(adjacency, h)
+            return self._forward_padded(adjacency, h, edge_attr)
         n = h.shape[0]
         transformed = h @ self.weight  # (N, F')
         score_src = transformed @ self.att_src  # (N,)
         score_dst = transformed @ self.att_dst  # (N,)
-        logits = leaky_relu(
-            score_src.reshape(n, 1) + score_dst.reshape(1, n), self.negative_slope
-        )
+        raw = score_src.reshape(n, 1) + score_dst.reshape(1, n)
+        edge_bias = self._edge_bias(adjacency, edge_attr)
+        if edge_bias is not None:
+            raw = raw + edge_bias  # (N, N), zero on the diagonal
+        logits = leaky_relu(raw, self.negative_slope)
         adj_data = adjacency.data if isinstance(adjacency, Tensor) else adjacency
         mask = (np.asarray(adj_data) != 0) | np.eye(n, dtype=bool)
         masked = where(mask, logits, Tensor(np.full((n, n), -1e9)))
@@ -231,7 +281,7 @@ class GATLayer(Module):
         warn_deprecated("GATLayer.forward_batched", "GATLayer.__call__")
         return self.forward(adjacency, h, mask)
 
-    def _forward_sparse(self, adjacency: CSRMatrix, h: Tensor) -> Tensor:
+    def _forward_sparse(self, adjacency: CSRMatrix, h: Tensor, edge_attr=None) -> Tensor:
         """Single-graph attention over a constant CSR adjacency.
 
         Attention is computed only on stored edges plus self-loops via a
@@ -241,7 +291,8 @@ class GATLayer(Module):
         contribute nothing there either (the equivalence suite pins this
         down to 1e-6).  The CSR adjacency is a constant, so the dense
         path's differentiable-adjacency reweighting branch never applies
-        here.
+        here.  Sparse ``edge_attr`` is ``(nnz, Fe)`` aligned with the
+        stored entries; self-loop positions get zero edge bias.
         """
         n = h.shape[0]
         transformed = h @ self.weight  # (N, F')
@@ -249,15 +300,27 @@ class GATLayer(Module):
         score_dst = transformed @ self.att_dst  # (N,)
         adj_tilde = adjacency.with_self_loops()
         row, col = adj_tilde.row_ids, adj_tilde.indices
-        logits = leaky_relu(
-            scatter_gather(score_src, row) + scatter_gather(score_dst, col),
-            self.negative_slope,
-        )
+        raw = scatter_gather(score_src, row) + scatter_gather(score_dst, col)
+        edge_bias = self._edge_bias(adjacency, edge_attr)
+        if edge_bias is not None:
+            from repro.tensor import concat
+
+            # Map every stored entry of Ã back to its original edge (or
+            # to an appended zero slot for the self-loops Ã introduced).
+            # with_self_loops keeps the relative order of off-diagonal
+            # entries, so the k-th non-loop entry of Ã is the k-th stored
+            # edge of A; the map is structural and cached on Ã.
+            index_map = adj_tilde.cached(
+                ("edge_bias_map", adjacency.nnz), _self_loop_index_map
+            )
+            padded = concat([edge_bias, Tensor(np.zeros(1))], axis=0)
+            raw = raw + scatter_gather(padded, index_map)
+        logits = leaky_relu(raw, self.negative_slope)
         attention = segment_softmax(logits, row, n)  # (E~,)
         out = spmm(adj_tilde, transformed, values=attention) + self.bias
         return _activate(out, self.activation)
 
-    def _forward_padded(self, adjacency, h: Tensor) -> Tensor:
+    def _forward_padded(self, adjacency, h: Tensor, edge_attr=None) -> Tensor:
         """Batched GAT on ``(B, N, N)`` adjacency and ``(B, N, F)`` features.
 
         The neighbourhood mask keeps the per-graph semantics: padding
@@ -270,10 +333,11 @@ class GATLayer(Module):
         transformed = h @ self.weight  # (B, N, F')
         score_src = transformed @ self.att_src  # (B, N)
         score_dst = transformed @ self.att_dst  # (B, N)
-        logits = leaky_relu(
-            score_src.reshape(batch, n, 1) + score_dst.reshape(batch, 1, n),
-            self.negative_slope,
-        )
+        raw = score_src.reshape(batch, n, 1) + score_dst.reshape(batch, 1, n)
+        edge_bias = self._edge_bias(adjacency, edge_attr)
+        if edge_bias is not None:
+            raw = raw + edge_bias  # (B, N, N), zero on diagonals and padding
+        logits = leaky_relu(raw, self.negative_slope)
         adj_data = adjacency.data if isinstance(adjacency, Tensor) else adjacency
         neighbours = (np.asarray(adj_data) != 0) | np.eye(n, dtype=bool)[None, :, :]
         masked = where(neighbours, logits, Tensor(np.full((batch, n, n), -1e9)))

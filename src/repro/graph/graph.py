@@ -3,9 +3,11 @@
 A graph is stored as a dense, symmetric, zero-diagonal adjacency matrix
 (the paper works with weighted adjacency matrices A ∈ R^{N×N}) plus
 optional integer node labels, an optional node feature matrix
-H ∈ R^{N×F} and an optional integer graph label Y.  Instances are
-treated as immutable values: all transformation helpers return new
-graphs.
+H ∈ R^{N×F}, an optional per-edge attribute tensor E ∈ R^{N×N×Fe}
+(bond types and the like, docs/molecular.md) and an optional graph
+label Y — an integer class for classification or a float target for
+regression.  Instances are treated as immutable values: all
+transformation helpers return new graphs.
 """
 
 from __future__ import annotations
@@ -34,15 +36,21 @@ class Graph:
         Optional ``(N,)`` integer labels (e.g. atom types).
     features:
         Optional ``(N, F)`` node feature matrix.
+    edge_features:
+        Optional ``(N, N, Fe)`` per-edge attribute tensor, symmetric in
+        its first two axes and zero wherever the adjacency is zero
+        (including the diagonal).
     label:
-        Optional integer graph-level label Y.
+        Optional graph-level label Y: an integer class index for
+        classification, or a float target for regression.
     """
 
     adjacency: np.ndarray
     node_labels: np.ndarray | None = None
     features: np.ndarray | None = None
-    label: int | None = None
+    label: int | float | None = None
     meta: dict = field(default_factory=dict, compare=False)
+    edge_features: np.ndarray | None = None
 
     def __post_init__(self):
         adj = np.asarray(self.adjacency, dtype=np.float64)
@@ -67,6 +75,25 @@ class Graph:
                     f"features must be (N, F) with N={adj.shape[0]}, got {feats.shape}"
                 )
             object.__setattr__(self, "features", feats)
+        if self.edge_features is not None:
+            efeats = np.asarray(self.edge_features, dtype=np.float64)
+            n = adj.shape[0]
+            if efeats.ndim != 3 or efeats.shape[:2] != (n, n):
+                raise ValueError(
+                    f"edge_features must be (N, N, Fe) with N={n}, "
+                    f"got {efeats.shape}"
+                )
+            if not np.allclose(efeats, efeats.transpose(1, 0, 2)):
+                raise ValueError(
+                    "edge_features must be symmetric in the node axes "
+                    "(undirected graphs)"
+                )
+            if np.any(efeats[adj == 0] != 0):
+                raise ValueError(
+                    "edge_features must be zero off-edges (wherever the "
+                    "adjacency is zero, including the diagonal)"
+                )
+            object.__setattr__(self, "edge_features", efeats)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -114,6 +141,29 @@ class Graph:
             _CSR_CACHE[self] = cached
         return cached
 
+    @property
+    def num_edge_features(self) -> int:
+        """Width Fe of the per-edge attribute vectors (0 when absent)."""
+        return 0 if self.edge_features is None else self.edge_features.shape[2]
+
+    def edge_feature_data(self) -> np.ndarray:
+        """Edge attributes as an ``(nnz, Fe)`` array aligned with ``to_csr()``.
+
+        Row ``k`` holds the attribute vector of the ``k``-th stored entry
+        of the CSR adjacency (row-major, columns sorted within a row) —
+        the ordering ``CSRMatrix.from_dense`` produces — so the sparse
+        backend can condition message passing on edge features without
+        ever materialising the dense ``(N, N, Fe)`` tensor again.  Cached
+        on the CSR instance (graphs are immutable).
+        """
+        if self.edge_features is None:
+            raise ValueError("graph has no edge_features")
+        csr = self.to_csr()
+        return csr.cached(
+            "edge_feature_data",
+            lambda c: self.edge_features[c.row_ids, c.indices],
+        )
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
@@ -122,16 +172,35 @@ class Graph:
         num_nodes: int,
         edges: Iterable[tuple[int, int]],
         node_labels: Sequence[int] | None = None,
-        label: int | None = None,
+        label: int | float | None = None,
+        edge_features: dict[tuple[int, int], Sequence[float]] | None = None,
+        num_edge_features: int | None = None,
     ) -> "Graph":
-        """Build an unweighted graph from an edge list."""
+        """Build an unweighted graph from an edge list.
+
+        ``edge_features`` maps ``(i, j)`` pairs (either orientation) to
+        ``Fe``-vectors; edges without an entry get the zero vector.
+        ``num_edge_features`` pins Fe when the mapping is empty.
+        """
         adj = np.zeros((num_nodes, num_nodes), dtype=np.float64)
         for i, j in edges:
             if i == j:
                 continue  # self-loops are silently dropped
             adj[i, j] = adj[j, i] = 1.0
         labels = None if node_labels is None else np.asarray(node_labels)
-        return Graph(adj, node_labels=labels, label=label)
+        efeats = None
+        if edge_features is not None or num_edge_features is not None:
+            dim = num_edge_features
+            if dim is None:
+                dim = max(
+                    (len(v) for v in (edge_features or {}).values()), default=0
+                )
+            efeats = np.zeros((num_nodes, num_nodes, dim), dtype=np.float64)
+            for (i, j), vec in (edge_features or {}).items():
+                if i == j or adj[i, j] == 0:
+                    continue  # attributes on non-edges are dropped like self-loops
+                efeats[i, j] = efeats[j, i] = np.asarray(vec, dtype=np.float64)
+        return Graph(adj, node_labels=labels, label=label, edge_features=efeats)
 
     @staticmethod
     def empty(num_nodes: int) -> "Graph":
@@ -143,8 +212,17 @@ class Graph:
     def with_features(self, features: np.ndarray) -> "Graph":
         return replace(self, features=np.asarray(features, dtype=np.float64))
 
+    def with_edge_features(self, edge_features: np.ndarray) -> "Graph":
+        return replace(
+            self, edge_features=np.asarray(edge_features, dtype=np.float64)
+        )
+
     def with_label(self, label: int) -> "Graph":
         return replace(self, label=int(label))
+
+    def with_target(self, target: float) -> "Graph":
+        """Attach a float regression target as the graph label."""
+        return replace(self, label=float(target))
 
     def with_node_labels(self, node_labels: Sequence[int]) -> "Graph":
         return replace(self, node_labels=np.asarray(node_labels, dtype=np.int64))
@@ -157,7 +235,15 @@ class Graph:
         adj = self.adjacency[np.ix_(perm, perm)]
         labels = None if self.node_labels is None else self.node_labels[perm]
         feats = None if self.features is None else self.features[perm]
-        return Graph(adj, node_labels=labels, features=feats, label=self.label)
+        efeats = (
+            None
+            if self.edge_features is None
+            else self.edge_features[np.ix_(perm, perm)]
+        )
+        return Graph(
+            adj, node_labels=labels, features=feats, label=self.label,
+            edge_features=efeats,
+        )
 
     def subgraph(self, nodes: Sequence[int]) -> "Graph":
         """Induced subgraph on ``nodes`` (kept in the given order)."""
@@ -165,7 +251,15 @@ class Graph:
         adj = self.adjacency[np.ix_(idx, idx)]
         labels = None if self.node_labels is None else self.node_labels[idx]
         feats = None if self.features is None else self.features[idx]
-        return Graph(adj, node_labels=labels, features=feats, label=self.label)
+        efeats = (
+            None
+            if self.edge_features is None
+            else self.edge_features[np.ix_(idx, idx)]
+        )
+        return Graph(
+            adj, node_labels=labels, features=feats, label=self.label,
+            edge_features=efeats,
+        )
 
     def add_nodes(
         self,
@@ -189,7 +283,13 @@ class Graph:
                 else np.asarray(node_labels, dtype=np.int64)
             )
             labels = np.concatenate([self.node_labels, extra])
-        return Graph(adj, node_labels=labels, label=self.label)
+        efeats = None
+        if self.edge_features is not None:
+            # new edges carry the zero attribute vector
+            fe = self.edge_features.shape[2]
+            efeats = np.zeros((n + count, n + count, fe), dtype=np.float64)
+            efeats[:n, :n] = self.edge_features
+        return Graph(adj, node_labels=labels, label=self.label, edge_features=efeats)
 
     # ------------------------------------------------------------------
     # Interop

@@ -1,8 +1,11 @@
-"""Graph classification head (paper Eq. 20-21).
+"""Graph classification/regression head (paper Eq. 20-21).
 
 The final graph representation is fed into two fully-connected layers
 (ReLU then linear; the softmax lives inside the cross-entropy) and
-optimised with standard cross-entropy over graph labels.
+optimised with standard cross-entropy over graph labels.  Built with
+``task="regression"`` the same head ends in a single linear output
+trained with MSE against float targets — the molecular
+property-prediction workload (docs/molecular.md).
 """
 
 from __future__ import annotations
@@ -14,23 +17,32 @@ from repro.graph.graph import Graph
 from repro.models.common import (
     EmbeddingResult,
     embedding_result,
+    graph_edge_attr,
     graph_inputs,
     level_sum_vector,
 )
 from repro.nn.layers import Linear
-from repro.nn.losses import cross_entropy, cross_entropy_batched
+from repro.nn.losses import cross_entropy, cross_entropy_batched, mse_loss
 from repro.nn.module import Module, warn_deprecated
 from repro.tensor import Tensor, concat, no_grad, relu, softmax
 
 
 class GraphClassifier(Module):
-    """Embedder + two fully-connected layers + softmax classifier.
+    """Embedder + two fully-connected layers + task head.
 
     ``backend`` selects the execution backend for adjacency handling:
     ``"dense"`` (default) feeds the embedder dense ``(N, N)`` arrays and
     pads batches, ``"sparse"`` feeds cached CSR adjacencies and runs
     batches as a per-graph loop (docs/sparse.md) — same arithmetic,
     O(E) peak memory.
+
+    ``task`` selects the head: ``"classification"`` (default) ends in
+    ``num_classes`` logits under cross-entropy; ``"regression"`` ends in
+    one linear output under MSE against ``graph.label`` float targets
+    (``num_classes`` is ignored — pass 0).  Graphs carrying
+    ``edge_features`` are fed to the embedder's edge-conditioned path in
+    either task; embedders built without edge support reject them loudly
+    instead of silently dropping bond types.
     """
 
     def __init__(
@@ -40,22 +52,39 @@ class GraphClassifier(Module):
         rng: np.random.Generator,
         hidden: int | None = None,
         backend: str = "dense",
+        task: str = "classification",
     ):
         super().__init__()
-        if num_classes < 2:
+        if task not in ("classification", "regression"):
+            raise ValueError(
+                f"unknown task {task!r}; use 'classification' or 'regression'"
+            )
+        if task == "classification" and num_classes < 2:
             raise ValueError("need at least two classes")
         if backend not in ("dense", "sparse"):
             raise ValueError(f"unknown backend {backend!r}; use 'dense' or 'sparse'")
         self.embedder = embedder
         self.num_classes = num_classes
         self.backend = backend
+        self.task = task
+        self.out_dim = 1 if task == "regression" else num_classes
         dim = embedder.out_features
         hidden = hidden or dim
         self.fc1 = Linear(dim, hidden, rng)
-        self.fc2 = Linear(hidden, num_classes, rng)
+        self.fc2 = Linear(hidden, self.out_dim, rng)
+
+    def _embed_levels(self, adjacency, features, mask=None, edge_attr=None):
+        """Call the embedder, forwarding ``edge_attr`` only when present
+        so edge-free graphs keep working with loop-only flat embedders
+        whose ``embed_levels`` has no such parameter."""
+        args = (adjacency, features) if mask is None else (adjacency, features, mask)
+        if edge_attr is not None:
+            return self.embedder.embed_levels(*args, edge_attr=edge_attr)
+        return self.embedder.embed_levels(*args)
 
     def logits(self, graph: Graph) -> Tensor:
-        """Class logits for one graph.
+        """Head outputs for one graph: ``(C,)`` class logits, or the
+        ``(1,)`` predicted target under ``task="regression"``.
 
         Hierarchical embedders contribute the *sum of their level
         representations* — the paper's hierarchical prediction strategy
@@ -65,7 +94,9 @@ class GraphClassifier(Module):
         single readout.
         """
         adjacency, features = graph_inputs(graph, self.backend)
-        levels = self.embedder.embed_levels(adjacency, features)
+        levels = self._embed_levels(
+            adjacency, features, edge_attr=graph_edge_attr(graph, self.backend)
+        )
         embedding = levels[0]
         for level in levels[1:]:
             embedding = embedding + level
@@ -80,10 +111,14 @@ class GraphClassifier(Module):
         return self.logits_batched(graph)
 
     def loss(self, graph: Graph) -> Tensor:
-        """Cross-entropy (Eq. 21) plus any embedder auxiliary loss."""
+        """Task loss — cross-entropy (Eq. 21) for classification, MSE
+        for regression — plus any embedder auxiliary loss."""
         if graph.label is None:
             raise ValueError("graph has no label")
-        loss = cross_entropy(self.logits(graph), graph.label)
+        if self.task == "regression":
+            loss = mse_loss(self.logits(graph), float(graph.label))
+        else:
+            loss = cross_entropy(self.logits(graph), graph.label)
         aux = getattr(self.embedder, "auxiliary_loss", lambda: None)()
         if aux is not None:
             loss = loss + aux * 0.1
@@ -112,8 +147,11 @@ class GraphClassifier(Module):
         if self.backend == "sparse" and not isinstance(graphs, PaddedBatch):
             return self._logits_sparse(list(graphs))
         batch = self._as_batch(graphs)
-        levels = self.embedder.embed_levels(
-            batch.adjacency, Tensor(batch.features), batch.mask
+        levels = self._embed_levels(
+            batch.adjacency,
+            Tensor(batch.features),
+            batch.mask,
+            edge_attr=batch.edge_features,
         )
         embedding = levels[0]
         for level in levels[1:]:
@@ -125,23 +163,37 @@ class GraphClassifier(Module):
         backend's batch forward (one autograd graph, so ``backward`` on
         any reduction reaches every parameter exactly as the padded
         path does)."""
-        rows = [self.logits(g).reshape(1, self.num_classes) for g in graphs]
+        rows = [self.logits(g).reshape(1, self.out_dim) for g in graphs]
         return concat(rows, axis=0)
 
     def batch_loss(self, graphs) -> Tensor:
-        """Mean cross-entropy over the batch (equals the per-graph loop's
+        """Mean task loss over the batch (equals the per-graph loop's
         mean of :meth:`loss`) plus any embedder auxiliary loss."""
         if self.backend == "sparse" and not isinstance(graphs, PaddedBatch):
             graphs = list(graphs)
             if any(g.label is None for g in graphs):
                 raise ValueError("every graph in the batch needs a label")
-            labels = np.array([int(g.label) for g in graphs], dtype=np.int64)
-            loss = cross_entropy_batched(self._logits_sparse(graphs), labels)
+            outputs = self._logits_sparse(graphs)
+            if self.task == "regression":
+                targets = np.array(
+                    [float(g.label) for g in graphs], dtype=np.float64
+                )
+                loss = mse_loss(outputs.reshape(len(graphs)), targets)
+            else:
+                labels = np.array([int(g.label) for g in graphs], dtype=np.int64)
+                loss = cross_entropy_batched(outputs, labels)
         else:
             batch = self._as_batch(graphs)
             if batch.labels is None:
                 raise ValueError("every graph in the batch needs a label")
-            loss = cross_entropy_batched(self.logits_batched(batch), batch.labels)
+            outputs = self.logits_batched(batch)
+            if self.task == "regression":
+                loss = mse_loss(
+                    outputs.reshape(batch.batch_size),
+                    np.asarray(batch.labels, dtype=np.float64),
+                )
+            else:
+                loss = cross_entropy_batched(outputs, batch.labels)
         aux = getattr(self.embedder, "auxiliary_loss", lambda: None)()
         if aux is not None:
             loss = loss + aux * 0.1
@@ -151,13 +203,14 @@ class GraphClassifier(Module):
     # Unified prediction surface (docs/serving.md)
     # ------------------------------------------------------------------
     def predict(self, inputs=None, **legacy):
-        """Predicted class(es) for ``Graph | list[Graph] | PaddedBatch``.
+        """Prediction(s) for ``Graph | list[Graph] | PaddedBatch``.
 
         The single entry point of the prediction surface: a bare
-        :class:`Graph` returns a python ``int``; a sequence of graphs or
-        a :class:`~repro.data.batching.PaddedBatch` returns a ``(B,)``
-        int array computed through one batched forward (the padded path
-        on the dense backend, the per-graph CSR loop on the sparse one —
+        :class:`Graph` returns a python ``int`` class (or ``float``
+        target under ``task="regression"``); a sequence of graphs or a
+        :class:`~repro.data.batching.PaddedBatch` returns a ``(B,)``
+        array computed through one batched forward (the padded path on
+        the dense backend, the per-graph CSR loop on the sparse one —
         the dispatch callers previously hand-rolled via
         ``predict_batch``/``backend=`` forks).
         """
@@ -174,18 +227,28 @@ class GraphClassifier(Module):
             )
         if inputs is None:
             raise TypeError("predict() needs a Graph, list of Graphs or PaddedBatch")
+        regression = self.task == "regression"
         with no_grad():
             if isinstance(inputs, Graph):
-                return int(np.argmax(self.logits(inputs).data))
+                out = self.logits(inputs).data
+                return float(out[0]) if regression else int(np.argmax(out))
             if not isinstance(inputs, PaddedBatch):
                 inputs = list(inputs)
             try:
-                return np.argmax(self.logits_batched(inputs).data, axis=-1)
+                out = self.logits_batched(inputs).data
+                if regression:
+                    return out.reshape(-1).copy()
+                return np.argmax(out, axis=-1)
             except NotImplementedError:
                 # Loop-only embedders (the flat Table-3 baselines have no
                 # padded path); an explicit PaddedBatch cannot fall back.
                 if isinstance(inputs, PaddedBatch):
                     raise
+                if regression:
+                    return np.array(
+                        [float(self.logits(g).data[0]) for g in inputs],
+                        dtype=np.float64,
+                    )
                 return np.array(
                     [int(np.argmax(self.logits(g).data)) for g in inputs],
                     dtype=np.int64,
@@ -199,6 +262,8 @@ class GraphClassifier(Module):
         return self.predict(graphs)
 
     def predict_proba(self, graph: Graph) -> np.ndarray:
+        if self.task == "regression":
+            raise ValueError("predict_proba is undefined for regression heads")
         with no_grad():
             return softmax(self.logits(graph), axis=-1).data.copy()
 

@@ -79,6 +79,21 @@ def embedding_result(model, graph: Graph, vector: np.ndarray) -> EmbeddingResult
     )
 
 
+def graph_edge_attr(graph: Graph, backend: str = "dense"):
+    """Per-edge attributes in the layout ``backend`` expects, or ``None``.
+
+    ``"dense"`` returns the graph's ``(N, N, Fe)`` tensor; ``"sparse"``
+    the CSR-aligned ``(nnz, Fe)`` rows of
+    :meth:`~repro.graph.graph.Graph.edge_feature_data` — the two forms
+    the edge-conditioned layers consume (docs/molecular.md).
+    """
+    if graph.edge_features is None:
+        return None
+    if backend == "sparse":
+        return graph.edge_feature_data()
+    return graph.edge_features
+
+
 def level_sum_vector(embedder, graph: Graph, backend: str = "dense") -> np.ndarray:
     """The sum of an embedder's level representations, as a plain array.
 
@@ -91,8 +106,12 @@ def level_sum_vector(embedder, graph: Graph, backend: str = "dense") -> np.ndarr
     the training-path embedding bit for bit.
     """
     adjacency, features = graph_inputs(graph, backend)
+    edge_attr = graph_edge_attr(graph, backend)
     with no_grad():
-        levels = embedder.embed_levels(adjacency, features)
+        if edge_attr is not None:
+            levels = embedder.embed_levels(adjacency, features, edge_attr=edge_attr)
+        else:
+            levels = embedder.embed_levels(adjacency, features)
         total = levels[0].data.copy()
         for level in levels[1:]:
             total += level.data

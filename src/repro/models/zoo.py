@@ -151,13 +151,20 @@ def make_classifier(
     hidden: int = 32,
     cluster_sizes: tuple[int, ...] = (8, 1),
     conv: str = "gcn",
+    task: str = "classification",
     **hap_kwargs,
 ) -> GraphClassifier:
-    """Graph classification model for a Table 3 / Table 5 row."""
+    """Graph classification model for a Table 3 / Table 5 row.
+
+    ``task="regression"`` swaps in the single-output MSE head (pass
+    ``num_classes=0``); combined with ``edge_features=<Fe>`` in
+    ``hap_kwargs`` and a non-GCN ``conv`` this is the molecular
+    property-prediction configuration (docs/molecular.md).
+    """
     embedder = make_embedder(
         method, in_features, hidden, rng, cluster_sizes, conv, **hap_kwargs
     )
-    return GraphClassifier(embedder, num_classes, rng)
+    return GraphClassifier(embedder, num_classes, rng, task=task)
 
 
 def make_matcher(

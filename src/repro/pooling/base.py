@@ -98,17 +98,32 @@ class Coarsening(Module):
     #: whether :meth:`coarsen_padded` exists (3-D dispatch target).
     supports_padded: bool = False
 
-    def forward(self, adjacency, h: Tensor, mask=None):
+    #: whether the operator conditions on per-edge attributes; operators
+    #: without the hook reject ``edge_attr`` loudly rather than dropping
+    #: bond types on the floor (docs/molecular.md).
+    supports_edge_attr: bool = False
+
+    def forward(self, adjacency, h: Tensor, mask=None, edge_attr=None):
         h = as_tensor(h)
+        if edge_attr is not None and not self.supports_edge_attr:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not condition on edge_attr; "
+                "use HAP coarsening built with edge_features > 0"
+            )
         if h.ndim == 3:
             if not self.supports_padded:
                 raise NotImplementedError(
                     f"{type(self).__name__} has no batched path; "
                     "run it through the per-graph loop instead"
                 )
+            if edge_attr is not None:
+                return self.coarsen_padded(adjacency, h, mask, edge_attr=edge_attr)
             return self.coarsen_padded(adjacency, h, mask)
         adjacency, h = prepare_graph_inputs(adjacency, h)
-        adj_coarse, h_coarse = self.coarsen(adjacency, h)
+        if edge_attr is not None:
+            adj_coarse, h_coarse = self.coarsen(adjacency, h, edge_attr=edge_attr)
+        else:
+            adj_coarse, h_coarse = self.coarsen(adjacency, h)
         if h_coarse.ndim != 2:
             raise AssertionError(
                 f"{type(self).__name__}.coarsen returned {h_coarse.ndim}-D "

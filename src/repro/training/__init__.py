@@ -11,6 +11,8 @@ from repro.training.checkpoint import (
 from repro.training.metrics import (
     classification_accuracy,
     matching_accuracy,
+    regression_mae,
+    regression_rmse,
     triplet_accuracy,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "read_checkpoint_header",
     "classification_accuracy",
     "matching_accuracy",
+    "regression_mae",
+    "regression_rmse",
     "triplet_accuracy",
 ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.data.matching import MatchingPair
 from repro.data.triplets import GraphTriplet
 from repro.graph.graph import Graph
@@ -23,6 +25,26 @@ def classification_accuracy(model, graphs: Sequence[Graph]) -> float:
         raise ValueError("no graphs to evaluate")
     correct = sum(1 for g in graphs if model.predict(g) == g.label)
     return correct / len(graphs)
+
+
+def _regression_errors(model, graphs: Sequence[Graph]) -> np.ndarray:
+    if not graphs:
+        raise ValueError("no graphs to evaluate")
+    targets = np.array([float(g.label) for g in graphs], dtype=np.float64)
+    predictions = np.asarray(model.predict(list(graphs)), dtype=np.float64)
+    return predictions - targets
+
+
+def regression_rmse(model, graphs: Sequence[Graph]) -> float:
+    """Root-mean-squared error of a regression model's predictions
+    (lower is better — pair with ``TrainConfig(metric_mode="min")``)."""
+    errors = _regression_errors(model, graphs)
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def regression_mae(model, graphs: Sequence[Graph]) -> float:
+    """Mean absolute error of a regression model's predictions."""
+    return float(np.mean(np.abs(_regression_errors(model, graphs))))
 
 
 def matching_accuracy(model, pairs: Sequence[MatchingPair]) -> float:

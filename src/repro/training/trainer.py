@@ -79,6 +79,11 @@ class TrainConfig:
     #: gradients are bitwise identical either way, only the allocation
     #: strategy changes
     buffer_pool: bool = True
+    #: direction of the validation metric: ``"max"`` (accuracy-like,
+    #: the default) or ``"min"`` (error-like — val RMSE/MAE for the
+    #: regression task, docs/molecular.md).  Early stopping, best-weight
+    #: restoration and ``best.npz`` checkpoints all follow this mode.
+    metric_mode: str = "max"
 
 
 def clip_gradients(parameters, max_norm: float) -> float:
@@ -160,6 +165,10 @@ def fit(
         raise ValueError(
             f"unknown data mode {config.data!r}; use 'memory' or 'streaming'"
         )
+    if config.metric_mode not in ("max", "min"):
+        raise ValueError(
+            f"unknown metric_mode {config.metric_mode!r}; use 'max' or 'min'"
+        )
     if config.data == "streaming" and not hasattr(examples, "plan_epoch"):
         raise TypeError(
             "TrainConfig(data='streaming') needs examples with a "
@@ -190,6 +199,8 @@ def fit(
         return buffer_pool(train_pool)
 
     history = TrainHistory()
+    if config.metric_mode == "min":
+        history.best_metric = np.inf
     best_state = None
     stale = 0
     start_epoch = 0
@@ -328,7 +339,11 @@ def fit(
             with span("validation"):
                 metric = float(val_metric())
             history.val_metrics.append(metric)
-            if metric > history.best_metric:
+            if config.metric_mode == "min":
+                better = metric < history.best_metric
+            else:
+                better = metric > history.best_metric
+            if better:
                 history.best_metric = metric
                 history.best_epoch = epoch
                 best_state = model.state_dict()

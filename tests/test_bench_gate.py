@@ -1,0 +1,235 @@
+"""Unit tests for tools/bench_gate.py gate logic (no measuring).
+
+The expensive measurement paths are covered by ``pytest -m bench``;
+this suite pins the pure decision logic: the baseline ratchet's
+preservation of ≥4-core speedup records, the molecular quality floor,
+and the explicit ``--require-speedup`` enforceability contract.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+@pytest.fixture()
+def bench_gate():
+    sys.path.insert(0, str(TOOLS))
+    import bench_gate
+
+    yield bench_gate
+    sys.path.pop(0)
+
+
+def _report(bench_gate, **overrides):
+    report = {
+        "schema": bench_gate.BENCH_SCHEMA,
+        "commit": "new",
+        "time": 2.0,
+        "cpu_count": 1,
+        "parallel_workers": 1,
+        "config": {},
+        "timings": {"step_s": 0.010, "crossval_parallel_s": None},
+        "speedup_vs_serial": None,
+        "parallel": {"status": "skipped", "workers": 1, "cpu_count": 1},
+        "serving": {"throughput_rps": 100.0},
+        "streaming": {},
+        "molecular": {"rmse": 0.40, "mae": 0.30, "mean_predictor_rmse": 1.40},
+    }
+    report.update(overrides)
+    return report
+
+
+class TestRatchetPreservesMultiCoreRecords:
+    """A ≥4-core speedup survives single-core --update-baseline runs."""
+
+    def test_recorded_speedup_survives_a_single_core_run(self, bench_gate):
+        baseline = _report(
+            bench_gate,
+            cpu_count=8,
+            speedup_vs_serial=3.1,
+            parallel={"status": "measured", "workers": 4, "cpu_count": 8},
+        )
+        single_core = _report(bench_gate)
+        merged, _ = bench_gate.ratchet_baseline(baseline, single_core)
+        assert merged["speedup_vs_serial"] == 3.1
+        assert merged["parallel"]["cpu_count"] == 8
+
+    def test_recorded_speedup_survives_a_slower_multicore_run(self, bench_gate):
+        baseline = _report(
+            bench_gate,
+            speedup_vs_serial=3.1,
+            parallel={"status": "measured", "workers": 4, "cpu_count": 8},
+        )
+        slower = _report(
+            bench_gate,
+            speedup_vs_serial=2.2,
+            parallel={"status": "measured", "workers": 4, "cpu_count": 8},
+        )
+        merged, _ = bench_gate.ratchet_baseline(baseline, slower)
+        assert merged["speedup_vs_serial"] == 3.1
+
+    def test_a_faster_multicore_run_ratchets_upward(self, bench_gate):
+        baseline = _report(
+            bench_gate,
+            speedup_vs_serial=2.5,
+            parallel={"status": "measured", "workers": 4, "cpu_count": 8},
+        )
+        faster = _report(
+            bench_gate,
+            speedup_vs_serial=3.4,
+            parallel={"status": "measured", "workers": 4, "cpu_count": 8},
+        )
+        merged, _ = bench_gate.ratchet_baseline(baseline, faster)
+        assert merged["speedup_vs_serial"] == 3.4
+
+    def test_timing_floors_only_improve(self, bench_gate):
+        baseline = _report(bench_gate, timings={"step_s": 0.010})
+        slower = _report(bench_gate, timings={"step_s": 0.020})
+        merged, improved = bench_gate.ratchet_baseline(baseline, slower)
+        assert merged["timings"]["step_s"] == 0.010
+        assert "step_s" not in improved
+
+
+class TestRatchetMolecularFloor:
+    def test_a_worse_rmse_keeps_the_recorded_floor(self, bench_gate):
+        baseline = _report(
+            bench_gate,
+            molecular={"rmse": 0.33, "mae": 0.29, "mean_predictor_rmse": 1.44},
+        )
+        worse = _report(
+            bench_gate,
+            molecular={"rmse": 0.50, "mae": 0.45, "mean_predictor_rmse": 1.44},
+        )
+        merged, improved = bench_gate.ratchet_baseline(baseline, worse)
+        assert merged["molecular"]["rmse"] == 0.33
+        assert "molecular.rmse" not in improved
+
+    def test_a_better_rmse_tightens_the_floor(self, bench_gate):
+        baseline = _report(
+            bench_gate,
+            molecular={"rmse": 0.33, "mae": 0.29, "mean_predictor_rmse": 1.44},
+        )
+        better = _report(
+            bench_gate,
+            molecular={"rmse": 0.25, "mae": 0.20, "mean_predictor_rmse": 1.44},
+        )
+        merged, improved = bench_gate.ratchet_baseline(baseline, better)
+        assert merged["molecular"]["rmse"] == 0.25
+        assert "molecular.rmse" in improved
+
+
+class TestMolecularFailures:
+    def test_not_beating_the_mean_predictor_fails_absolutely(self, bench_gate):
+        molecular = {"rmse": 1.50, "mae": 1.2, "mean_predictor_rmse": 1.44}
+        failures = bench_gate.molecular_failures(molecular, None, 0.25)
+        assert len(failures) == 1
+        assert "mean predictor" in failures[0]
+
+    def test_drift_above_the_committed_floor_fails(self, bench_gate):
+        molecular = {"rmse": 0.50, "mae": 0.4, "mean_predictor_rmse": 1.44}
+        baseline = {"molecular": {"rmse": 0.33}}
+        failures = bench_gate.molecular_failures(molecular, baseline, 0.25)
+        assert len(failures) == 1
+        assert "baseline 0.33" in failures[0]
+
+    def test_within_threshold_passes(self, bench_gate):
+        molecular = {"rmse": 0.35, "mae": 0.3, "mean_predictor_rmse": 1.44}
+        baseline = {"molecular": {"rmse": 0.33}}
+        assert bench_gate.molecular_failures(molecular, baseline, 0.25) == []
+
+
+class TestSpeedupEnforceable:
+    def test_multicore_host_is_always_enforceable(self, bench_gate):
+        assert bench_gate.speedup_enforceable(4, None)
+        assert bench_gate.speedup_enforceable(8, {})
+
+    def test_small_host_without_baseline_is_not(self, bench_gate):
+        assert not bench_gate.speedup_enforceable(1, None)
+        assert not bench_gate.speedup_enforceable(2, {})
+
+    def test_small_host_with_multicore_record_is_enforceable(self, bench_gate):
+        baseline = {
+            "speedup_vs_serial": 3.1,
+            "parallel": {"status": "measured", "cpu_count": 8},
+        }
+        assert bench_gate.speedup_enforceable(1, baseline)
+
+    def test_a_single_core_record_does_not_arm_enforcement(self, bench_gate):
+        baseline = {
+            "speedup_vs_serial": 1.4,
+            "parallel": {"status": "measured", "cpu_count": 2},
+        }
+        assert not bench_gate.speedup_enforceable(1, baseline)
+
+
+class TestExplicitRequireSpeedupOnSmallHosts:
+    """--require-speedup passed explicitly must never be silently skipped."""
+
+    def test_errors_before_measuring_without_a_multicore_record(
+        self, bench_gate, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.setattr(bench_gate.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(
+            bench_gate, "measure",
+            lambda **kwargs: pytest.fail("measure() must not run"),
+        )
+        code = bench_gate.main(
+            ["--require-speedup", "3.0", "--baseline", str(tmp_path / "b.json")]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "bench ERROR" in out
+        assert "--require-speedup 3.0" in out
+
+    def test_proceeds_when_the_baseline_records_a_multicore_speedup(
+        self, bench_gate, monkeypatch, tmp_path
+    ):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "schema": bench_gate.BENCH_SCHEMA,
+            "speedup_vs_serial": 3.1,
+            "parallel": {"status": "measured", "cpu_count": 8},
+            "timings": {},
+        }))
+        monkeypatch.setattr(bench_gate.os, "cpu_count", lambda: 1)
+
+        class Reached(Exception):
+            pass
+
+        def fake_measure(**kwargs):
+            raise Reached
+
+        monkeypatch.setattr(bench_gate, "measure", fake_measure)
+        with pytest.raises(Reached):
+            bench_gate.main(["--require-speedup", "3.0", "--baseline", str(baseline)])
+
+    def test_default_invocation_never_errors_on_small_hosts(
+        self, bench_gate, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(bench_gate.os, "cpu_count", lambda: 1)
+
+        class Reached(Exception):
+            pass
+
+        def fake_measure(**kwargs):
+            raise Reached
+
+        monkeypatch.setattr(bench_gate, "measure", fake_measure)
+        with pytest.raises(Reached):
+            bench_gate.main(["--baseline", str(tmp_path / "b.json")])
+
+
+class TestCommittedBaselineShape:
+    def test_committed_baseline_carries_the_molecular_floor(self, bench_gate):
+        committed = json.loads(
+            bench_gate.DEFAULT_BASELINE.read_text(encoding="utf-8")
+        )
+        molecular = committed.get("molecular")
+        assert isinstance(molecular, dict), (
+            "results/bench_baseline.json must record the molecular floor"
+        )
+        assert molecular["rmse"] < molecular["mean_predictor_rmse"]

@@ -112,11 +112,32 @@ class TestWorkflowShape:
             "fused",
             "serve",
             "streaming",
+            "molecular",
         }
         assert gate_markers <= registered
         text = CI_SH.read_text()
         for marker in gate_markers:
             assert f"-m {marker}" in text, f"ci.sh gates stage misses -m {marker}"
+
+    def test_every_setup_python_step_caches_pip(self):
+        """Dependency installs reuse the runner's pip cache across runs."""
+        text = WORKFLOW.read_text()
+        setup_steps = text.count("actions/setup-python")
+        assert setup_steps >= 2, "expected setup-python in test and bench jobs"
+        assert text.count("cache: pip") == setup_steps, (
+            "every actions/setup-python step must set `cache: pip`"
+        )
+
+    def test_superseded_runs_are_cancelled(self):
+        """A concurrency group cancels in-flight runs on the same ref."""
+        text = WORKFLOW.read_text()
+        match = re.search(
+            r"^concurrency:\n((?:[ \t]+\S.*\n)+)", text, flags=re.MULTILINE
+        )
+        assert match, "workflow has no top-level concurrency block"
+        block = match.group(1)
+        assert "group:" in block and "github.ref" in block
+        assert "cancel-in-progress: true" in block
 
     def test_ci_sh_is_executable(self):
         mode = os.stat(CI_SH).st_mode

@@ -191,3 +191,82 @@ class TestSparseBackendOnDegenerateGraphs:
 
         out = spmm(csr, Tensor(rng.normal(size=(5, 3))))
         np.testing.assert_array_equal(out.data, np.zeros((5, 3)))
+
+
+@pytest.mark.molecular
+class TestEdgeFeaturesOnDegenerateGraphs:
+    """Bond features through the pathological shapes: an edgeless graph
+    (no bond carries any feature), a single-edge graph, and a chain
+    whose bonds are all the identical type — each through the dense,
+    sparse-CSR and padded-batch execution paths, which must agree."""
+
+    FE = 3
+
+    def _graphs(self, rng):
+        single = [0.0, 1.0, 0.0]
+        empty = Graph.from_edges(
+            4, [], edge_features={}, num_edge_features=self.FE
+        )
+        one_edge = Graph.from_edges(
+            2, [(0, 1)], edge_features={(0, 1): single},
+            num_edge_features=self.FE,
+        )
+        chain_edges = [(0, 1), (1, 2), (2, 3)]
+        identical = Graph.from_edges(
+            4, chain_edges,
+            edge_features={e: [1.0, 0.0, 0.0] for e in chain_edges},
+            num_edge_features=self.FE,
+        )
+        return [
+            g.with_features(rng.normal(size=(g.num_nodes, 4))).with_target(0.5)
+            for g in (empty, one_edge, identical)
+        ]
+
+    def _model(self, conv):
+        from repro.models import zoo
+
+        model = zoo.make_classifier(
+            "HAP", 4, 0, np.random.default_rng(0),
+            hidden=6, cluster_sizes=(3, 1), conv=conv,
+            task="regression", edge_features=self.FE, soft_sampling=False,
+        )
+        model.eval()
+        return model
+
+    @pytest.mark.parametrize("conv", ["gin", "sage", "gat"])
+    def test_dense_sparse_padded_paths_agree(self, rng, conv):
+        graphs = self._graphs(rng)
+        model = self._model(conv)
+        dense = np.array([model.predict(g) for g in graphs])
+        assert np.all(np.isfinite(dense)), conv
+        model.backend = "sparse"
+        sparse = np.array([model.predict(g) for g in graphs])
+        model.backend = "dense"
+        padded = np.asarray(model.predict(graphs))
+        assert np.abs(dense - sparse).max() < 1e-6, conv
+        assert np.abs(dense - padded).max() < 1e-6, conv
+
+    def test_empty_edge_set_yields_empty_sparse_edge_data(self, rng):
+        empty = self._graphs(rng)[0]
+        assert empty.num_edge_features == self.FE
+        assert empty.edge_feature_data().shape == (0, self.FE)
+
+    @pytest.mark.parametrize("conv", ["gin", "sage", "gat"])
+    def test_losses_backprop_on_degenerate_edge_features(self, rng, conv):
+        graphs = self._graphs(rng)
+        model = self._model(conv)
+        for graph in graphs:
+            model.zero_grad()
+            loss = model.loss(graph)
+            loss.backward()
+            assert np.isfinite(loss.data), conv
+
+    def test_padded_batch_carries_degenerate_edge_features(self, rng):
+        from repro.data import pad_graphs
+
+        graphs = self._graphs(rng)
+        batch = pad_graphs(graphs)
+        n = batch.adjacency.shape[1]
+        assert batch.edge_features.shape == (len(graphs), n, n, self.FE)
+        # the edgeless graph's slab is all zeros
+        assert np.all(batch.edge_features[0] == 0.0)

@@ -32,6 +32,13 @@ when one regresses against the committed baseline:
   batch through a :class:`repro.data.streaming.StreamingDataset`
   (docs/streaming.md): shard decode + feature attach amortised over
   the LRU window and prefetcher.
+- the **molecular regression floor** — a seeded ESOL-like regression
+  run (``repro.evaluation.run_regression``, docs/molecular.md) whose
+  held-out RMSE must beat the train-mean predictor's RMSE outright,
+  and must not drift above the committed baseline RMSE by more than
+  ``--threshold``.  A model that silently stops learning from bond
+  features stays numerically "correct" on every equivalence suite;
+  only a predictive-quality floor catches it.
 - the **streaming memory gate** — subprocess RSS probes (a
   ``streaming`` report section): one epoch over a 50k-graph sharded
   corpus must peak *below* the in-memory loader's RSS at 10k graphs,
@@ -50,7 +57,11 @@ at least 4 cores — on smaller machines the report carries an explicit
 ``parallel.note`` ("skipped: N core(s) < 4 ...") instead of bare
 nulls, and a speedup recorded by a ≥4-core host *survives* in the
 baseline (the ratchet never overwrites it with nulls) so enforcement
-re-arms the moment a multi-core host runs the gate.
+re-arms the moment a multi-core host runs the gate.  Passing
+``--require-speedup`` *explicitly* on a <4-core host is an error
+unless the baseline records a ≥4-core speedup: the flag demands an
+enforcement this host cannot perform, and silently skipping it would
+report a green gate for a check that never ran.
 
 ``--update-baseline`` is a **ratchet**: each timing floor only ever
 *improves* (min-merge of old and new; throughput floors max-merge).  A
@@ -111,6 +122,20 @@ SERVE_CONFIG = {
     "max_batch_size": 16,
     "max_wait_s": 0.002,
     "embed_pool": 8,
+}
+
+#: molecular regression floor: the smallest seeded ESOL-like run whose
+#: scaffold-split test RMSE beats the train-mean predictor with a wide
+#: margin (docs/molecular.md) — small enough for a CI stage, large
+#: enough that a model that stopped learning cannot pass on noise
+MOLECULAR_CONFIG = {
+    "method": "HAP",
+    "dataset": "ESOL",
+    "num_graphs": 150,
+    "epochs": 30,
+    "hidden": 16,
+    "lr": 0.01,
+    "seed": 0,
 }
 
 #: streaming memory gate: the streamed corpus is 5x the in-memory one,
@@ -241,6 +266,7 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
     timings["serve_p99_s"] = serving["batched"]["p99_s"]
 
     streaming = measure_streaming_memory()
+    molecular = measure_molecular()
 
     speedup = None
     if parallel_workers > 1:
@@ -291,6 +317,7 @@ def measure(config: dict | None = None, parallel_workers: int | None = None) -> 
         "parallel": parallel_info,
         "serving": serving,
         "streaming": streaming,
+        "molecular": molecular,
     }
 
 
@@ -402,6 +429,73 @@ def measure_streaming_memory(config: dict | None = None) -> dict:
             round(stream_delta / inmem_delta, 3) if inmem_delta > 0 else None
         ),
     }
+
+
+def measure_molecular(config: dict | None = None) -> dict:
+    """Seeded molecular regression quality floor (docs/molecular.md).
+
+    Trains the edge-conditioned regressor on the ESOL-like workload and
+    records its scaffold-split test RMSE/MAE next to the train-mean
+    predictor's RMSE — the dumbest possible baseline, which any model
+    that actually learned must beat.
+    """
+    from repro.evaluation import run_regression
+
+    config = dict(MOLECULAR_CONFIG if config is None else config)
+    result = run_regression(**config)
+    return {
+        "config": config,
+        "rmse": round(result.rmse, 4),
+        "mae": round(result.mae, 4),
+        "mean_predictor_rmse": round(result.baseline_rmse, 4),
+    }
+
+
+def molecular_failures(
+    molecular: dict, baseline: dict | None, threshold: float
+) -> list[str]:
+    """Violations of the molecular regression floor.
+
+    Beating the mean predictor is absolute (no baseline needed); the
+    committed baseline additionally pins a drift floor — RMSE more than
+    ``threshold`` above the recorded value fails even while still under
+    the mean predictor.
+    """
+    failures = []
+    if molecular["rmse"] >= molecular["mean_predictor_rmse"]:
+        failures.append(
+            f"molecular regression: test RMSE {molecular['rmse']:.4f} does "
+            f"not beat the train-mean predictor's "
+            f"{molecular['mean_predictor_rmse']:.4f} — the model learned "
+            "nothing from the molecular features (docs/molecular.md)"
+        )
+    recorded = (baseline or {}).get("molecular", {}).get("rmse")
+    if isinstance(recorded, (int, float)):
+        if molecular["rmse"] > recorded * (1.0 + threshold):
+            failures.append(
+                f"molecular regression: test RMSE {molecular['rmse']:.4f} vs "
+                f"baseline {recorded:.4f} "
+                f"(+{(molecular['rmse'] / recorded - 1.0):.0%}, threshold "
+                f"+{threshold:.0%})"
+            )
+    return failures
+
+
+def speedup_enforceable(cpu_count: int, baseline: dict | None) -> bool:
+    """Whether a ``--require-speedup`` floor can actually be judged.
+
+    True on a ≥4-core host (this run measures the speedup itself), or
+    when the committed baseline carries a speedup recorded by a ≥4-core
+    host (the ratchet preserves those, so the floor stays armed).
+    """
+    if cpu_count >= 4:
+        return True
+    baseline = baseline or {}
+    parallel = baseline.get("parallel") or {}
+    return (
+        isinstance(baseline.get("speedup_vs_serial"), (int, float))
+        and parallel.get("cpu_count", 0) >= 4
+    )
 
 
 def streaming_memory_failures(streaming: dict) -> list[str]:
@@ -584,6 +678,19 @@ def ratchet_baseline(baseline: dict | None, report: dict) -> tuple[dict, list[st
         serving = dict(serving)
         serving["throughput_rps"] = old_rps
         merged["serving"] = serving
+
+    # Lower-is-better quality floor: the recorded molecular RMSE only
+    # ever tightens (whichever side is lower keeps its whole record).
+    old_molecular = baseline.get("molecular")
+    new_molecular = merged.get("molecular")
+    if isinstance(old_molecular, dict) and isinstance(
+        old_molecular.get("rmse"), (int, float)
+    ):
+        new_rmse = (new_molecular or {}).get("rmse")
+        if not isinstance(new_rmse, (int, float)) or new_rmse > old_molecular["rmse"]:
+            merged["molecular"] = old_molecular
+        elif new_rmse < old_molecular["rmse"]:
+            improved.append("molecular.rmse")
     return merged, sorted(improved)
 
 
@@ -619,8 +726,10 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when a hot path is this fraction slower than baseline",
     )
     parser.add_argument(
-        "--require-speedup", type=float, default=2.0,
-        help="minimum parallel speedup, enforced on hosts with >= 4 cores",
+        "--require-speedup", type=float, default=None,
+        help="minimum parallel speedup (default 2.0), enforced on hosts "
+        "with >= 4 cores; passing the flag explicitly on a smaller host "
+        "errors out unless the baseline records a >=4-core speedup",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -638,6 +747,23 @@ def main(argv: list[str] | None = None) -> int:
         "rebase after an intentional trade-off)",
     )
     args = parser.parse_args(argv)
+
+    require_speedup = 2.0 if args.require_speedup is None else args.require_speedup
+    cpu_count = os.cpu_count() or 1
+    if args.require_speedup is not None and cpu_count < 4:
+        committed = None
+        if args.baseline.exists():
+            committed = json.loads(args.baseline.read_text(encoding="utf-8"))
+        if not speedup_enforceable(cpu_count, committed):
+            print(
+                f"bench ERROR: --require-speedup {args.require_speedup:.1f} "
+                f"was explicitly requested, but this host has {cpu_count} "
+                f"core(s) (< 4) and {args.baseline} records no >=4-core "
+                "speedup — the floor cannot be enforced here.  Run the gate "
+                "on a >=4-core host (which also records the speedup into the "
+                "baseline) or drop --require-speedup."
+            )
+            return 2
 
     report = measure(parallel_workers=args.workers)
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -676,13 +802,20 @@ def main(argv: list[str] | None = None) -> int:
         f"{streaming['baseline_rss_mb']:.0f}MB), stream_step "
         f"{report['timings']['stream_step_s'] * 1e3:.2f}ms"
     )
+    molecular = report["molecular"]
+    print(
+        f"bench: molecular test RMSE {molecular['rmse']:.4f} "
+        f"(MAE {molecular['mae']:.4f}) vs mean-predictor "
+        f"{molecular['mean_predictor_rmse']:.4f}"
+    )
 
-    # The out-of-core contract is absolute — no baseline required, and
+    # These contracts are absolute — no baseline required, and
     # --update-baseline must not launder a violation into the baseline.
-    memory_failures = streaming_memory_failures(streaming)
-    for failure in memory_failures:
+    absolute_failures = streaming_memory_failures(streaming)
+    absolute_failures += molecular_failures(molecular, None, args.threshold)
+    for failure in absolute_failures:
         print(f"bench REGRESSION: {failure}")
-    if memory_failures:
+    if absolute_failures:
         return 1
 
     if args.update_baseline or args.reset_baseline:
@@ -716,6 +849,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench: baseline schema {baseline.get('schema')!r} unsupported")
         return 1
     failures = compare(report, baseline, args.threshold)
+    failures.extend(molecular_failures(molecular, baseline, args.threshold))
     # Micro-batching must strictly beat serving one request at a time —
     # the whole point of the request queue (docs/serving.md).
     if serving["throughput_rps"] <= serving["serial_throughput_rps"]:
@@ -733,10 +867,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"(below -{args.threshold:.0%} floor)"
             )
     if report["cpu_count"] >= 4 and speedup is not None:
-        if speedup < args.require_speedup:
+        if speedup < require_speedup:
             failures.append(
                 f"speedup_vs_serial: {speedup:.2f}x < required "
-                f"{args.require_speedup:.1f}x on a {report['cpu_count']}-core host"
+                f"{require_speedup:.1f}x on a {report['cpu_count']}-core host"
             )
     elif speedup is not None:
         print(

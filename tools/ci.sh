@@ -12,7 +12,9 @@
 #                 determinism), sparse (dense-vs-CSR backend
 #                 equivalence), fused (fused-kernel equivalence +
 #                 gradchecks), serve (online-serving faithfulness),
-#                 streaming (sharded out-of-core pipeline equivalence)
+#                 streaming (sharded out-of-core pipeline equivalence),
+#                 molecular (edge-conditioned forward equivalence +
+#                 regression workload)
 #   bench-compare tools/bench_gate.py vs results/bench_baseline.json
 #
 # Usage: tools/ci.sh            (run everything)
@@ -53,6 +55,7 @@ if runs gates; then
     python -m pytest -q -m fused
     python -m pytest -q -m serve
     python -m pytest -q -m streaming
+    python -m pytest -q -m molecular
 fi
 
 if runs bench-compare; then

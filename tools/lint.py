@@ -1,6 +1,6 @@
 """AST-based repository linter (first stage of tools/ci.sh).
 
-Seven rules, each targeting a bug class this codebase has actually had
+Eight rules, each targeting a bug class this codebase has actually had
 to design around:
 
 - **no-bare-except** — ``except:`` swallows ``KeyboardInterrupt`` and
@@ -53,6 +53,12 @@ to design around:
   ``examples``, ``items``, ``view``) are flagged.  Tests and
   benchmarks are exempt — equivalence suites materialise both sides on
   purpose.
+- **no-dropped-edge-attr** — a GNN layer that accepts ``edge_attr``
+  but never reads it silently ignores the bond features the caller
+  passed, and every functional test on unconditioned data still
+  passes (docs/molecular.md).  Inside ``src/repro/gnn``, a function
+  with an ``edge_attr`` parameter must reference it in its body —
+  consume it or raise (``GCNLayer`` raises, which counts).
 
 Usage::
 
@@ -152,6 +158,9 @@ class Linter(ast.NodeVisitor):
         self.police_fusion = "src" in path.parts and (
             "core" in path.parts or "pooling" in path.parts
         )
+        #: edge-attribute plumbing is policed in the GNN layer package,
+        #: where a dropped operand silently un-conditions the model
+        self.police_edge_attr = "src" in path.parts and "gnn" in path.parts
         self._sparse_depth = 0
         #: a whole module named streaming* is one streaming scope
         self._stream_depth = int(
@@ -202,9 +211,34 @@ class Linter(ast.NodeVisitor):
                 "/ coarsen_chain instead (docs/performance.md)",
             )
 
+    def _check_edge_attr(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self.police_edge_attr:
+            return
+        params = [
+            arg.arg
+            for arg in (
+                node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+            )
+        ]
+        if "edge_attr" not in params:
+            return
+        reads = any(
+            isinstance(child, ast.Name) and child.id == "edge_attr"
+            for body_node in node.body
+            for child in ast.walk(body_node)
+        )
+        if not reads:
+            self.report(
+                node, "no-dropped-edge-attr",
+                f"{node.name}() accepts edge_attr but never reads it — the "
+                "bond features the caller passed are silently dropped; "
+                "consume the operand or raise (docs/molecular.md)",
+            )
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         self._check_fusion(node)
+        self._check_edge_attr(node)
         sparse_scope = self.police_densify and "sparse" in node.name
         stream_scope = self.police_materialize and "stream" in node.name
         if sparse_scope:
@@ -220,6 +254,7 @@ class Linter(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self._check_fusion(node)
+        self._check_edge_attr(node)
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
